@@ -1,0 +1,22 @@
+"""Figure 1 bench: 3- vs 4-hop buffer evolution and throughput collapse."""
+
+from repro.experiments import fig1
+
+
+def test_bench_fig1(benchmark, once):
+    result = once(benchmark, fig1.run, duration_s=120.0, warmup_s=20.0, seed=1)
+    table = result.find_table("Figure 1")
+
+    by_hops = {}
+    for hops, thr, relay, mean_buf, final, saturated in table.rows:
+        by_hops.setdefault(hops, {})[relay] = (thr, mean_buf, saturated)
+
+    thr3 = by_hops[3]["node1"][0]
+    thr4 = by_hops[4]["node1"][0]
+    # Paper: 4-hop throughput almost twice smaller than 3-hop.
+    assert thr4 < 0.7 * thr3
+    # Paper: the 4-hop first relay builds up until saturation and stays.
+    assert by_hops[4]["node1"][2] > 0.9  # share of time saturated
+    # Downstream relays stay near-empty in both chains.
+    assert by_hops[4]["node3"][1] < 5.0
+    assert by_hops[3]["node2"][1] < 10.0

@@ -1,0 +1,23 @@
+"""Figure 10 bench: scenario-2 delay series, ± EZ-flow."""
+
+from repro.experiments import scenario2
+from repro.metrics.stats import mean
+
+
+def test_bench_fig10(benchmark, once):
+    result = once(benchmark, scenario2.run, time_scale=0.05, seed=6)
+    table = result.find_table("Table 3")
+
+    path_delay = {
+        (period, ez, flow): pd
+        for period, ez, flow, paper, thr, sd, fi, pd in table.rows
+    }
+    # EZ-flow reduces F1's relay-path delay (paper: an order of
+    # magnitude on the full schedule; the compressed schedule leaves
+    # part of the transient inside the measurement window).
+    assert path_delay[("P2", "on", "F1")] < 0.75 * path_delay[("P2", "off", "F1")]
+    assert path_delay[("P3", "on", "F1")] < 0.5 * path_delay[("P3", "off", "F1")]
+    # Delay series exist for each flow and configuration.
+    for tag in ("std", "ez"):
+        for flow in ("F1", "F2", "F3"):
+            assert f"fig10.{tag}.{flow}.delay_s" in result.series

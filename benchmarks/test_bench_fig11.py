@@ -1,0 +1,16 @@
+"""Figure 11 bench: scenario-2 contention-window adaptation."""
+
+from repro.experiments import scenario2
+
+
+def test_bench_fig11(benchmark, once):
+    result = once(benchmark, scenario2.run, time_scale=0.05, seed=6)
+    cw_table = result.find_table("Figure 11")
+
+    cw = {node: value for ez, node, successor, value in cw_table.rows}
+    # Every flow's source throttles itself above its first relay's
+    # window (paper: sources ratchet to 2^9..2^10, relays stay low).
+    assert cw[0] > cw[1]
+    assert cw[10] > cw[11]
+    assert cw[19] > cw[20]
+    assert cw[0] >= 128 and cw[10] >= 128 and cw[19] >= 128

@@ -1,0 +1,26 @@
+"""Figure 4 bench: testbed relay buffers, standard 802.11 vs EZ-flow."""
+
+from repro.experiments import fig4
+
+
+def test_bench_fig4(benchmark, once):
+    result = once(benchmark, fig4.run, duration_s=300.0, warmup_s=60.0, seed=4)
+    table = result.find_table("Figure 4")
+
+    means = {
+        (flow, node, ez): measured
+        for flow, ez, node, paper, measured, final in table.rows
+    }
+    # Without EZ-flow the pre-bottleneck relays saturate (paper ~42-44).
+    assert means[("F1", "N1", "off")] > 30.0 or means[("F1", "N2", "off")] > 30.0
+    assert means[("F2", "N4", "off")] > 35.0
+    # With EZ-flow the same relays are stabilized. The queue mass may
+    # redistribute between N1 and N2 (the paper's testbed had it at
+    # both), so compare the pre-bottleneck total.
+    assert means[("F2", "N4", "on")] < 15.0
+    f1_off_total = sum(means[("F1", n, "off")] for n in ("N1", "N2", "N3"))
+    f1_on_total = sum(means[("F1", n, "on")] for n in ("N1", "N2", "N3"))
+    assert f1_on_total < 0.8 * f1_off_total
+    # Relays past the bottleneck stay small in every configuration.
+    assert means[("F2", "N6", "off")] < 10.0
+    assert means[("F2", "N6", "on")] < 10.0

@@ -1,0 +1,22 @@
+"""Figure 6 bench: scenario-1 throughput series, ± EZ-flow."""
+
+from repro.experiments import scenario1
+
+
+def test_bench_fig6(benchmark, once):
+    result = once(benchmark, scenario1.run, time_scale=0.06, seed=5)
+    table = result.find_table("Scenario 1")
+
+    rows = {
+        (period.split()[0], ez, flow): thr
+        for period, ez, flow, thr, delay, path_delay in table.rows
+    }
+    # Period 1 (F1 alone): EZ-flow raises throughput (paper: +20%).
+    assert rows[("P1", "on", "F1")] > 1.1 * rows[("P1", "off", "F1")]
+    # Period 3: the network re-adapts after F2 leaves.
+    assert rows[("P3", "on", "F1")] > 1.1 * rows[("P3", "off", "F1")]
+    # The throughput series for the figures exist and are non-trivial.
+    for tag in ("std", "ez"):
+        series = result.series[f"fig6.{tag}.F1.throughput_kbps"]
+        assert len(series) > 10
+        assert max(v for _, v in series) > 50.0

@@ -1,0 +1,22 @@
+"""Figure 7 bench: scenario-1 delay series, ± EZ-flow."""
+
+from repro.experiments import scenario1
+
+
+def test_bench_fig7(benchmark, once):
+    # Delay convergence needs a longer horizon than the throughput
+    # shapes: the CAA ratchets one doubling per ~50 overheard packets.
+    result = once(benchmark, scenario1.run, time_scale=0.2, seed=5, settle_fraction=0.5)
+    table = result.find_table("Scenario 1")
+
+    path_delay = {
+        (period.split()[0], ez, flow): pd
+        for period, ez, flow, thr, delay, pd in table.rows
+    }
+    # EZ-flow cuts the relay-path delay of the resident flow sharply
+    # (paper: 4.1 s -> 0.2 s on the full schedule).
+    assert path_delay[("P1", "on", "F1")] < 0.6 * path_delay[("P1", "off", "F1")]
+    assert path_delay[("P3", "on", "F1")] < 0.6 * path_delay[("P3", "off", "F1")]
+    # Delay series are recorded per delivered packet.
+    assert len(result.series["fig7.std.F1.delay_s"]) > 100
+    assert len(result.series["fig7.ez.F1.path_delay_s"]) > 100

@@ -1,0 +1,19 @@
+"""Figure 8 bench: scenario-1 contention-window adaptation."""
+
+from repro.experiments import scenario1
+
+
+def test_bench_fig8(benchmark, once):
+    result = once(benchmark, scenario1.run, time_scale=0.06, seed=5)
+    cw_table = result.find_table("Figure 8")
+
+    cw = {node: value for ez, node, successor, value in cw_table.rows}
+    # The sources (branch heads) throttle themselves hardest; the trunk
+    # relays stay at or near the minimum (paper: relays 2^4, source up
+    # to 2^7..2^11).
+    assert cw[12] >= 128        # F1's source
+    assert cw[4] <= 64          # junction relay
+    assert cw[3] <= 32 and cw[2] <= 32
+    assert cw[12] > cw[4]
+    # cw evolution series recorded for the figure.
+    assert any(key.startswith("fig8.cw.node") for key in result.series)

@@ -1,0 +1,70 @@
+"""Microbenchmarks of the hot paths (real pytest-benchmark rounds)."""
+
+import random
+
+from repro.analysis.activation import sample_activation
+from repro.core.boe import BufferOccupancyEstimator
+from repro.sim.engine import Engine
+from repro.sim.units import seconds
+from repro.topology.linear import linear_chain
+
+INF = float("inf")
+
+
+def test_bench_engine_event_throughput(benchmark):
+    """Raw event scheduling + dispatch rate of the simulation core."""
+
+    def run():
+        engine = Engine()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 20_000:
+                engine.schedule(1, tick)
+
+        engine.schedule(0, tick)
+        engine.run()
+        return count[0]
+
+    assert benchmark(run) == 20_000
+
+
+def test_bench_boe_overhearing(benchmark):
+    """BOE send/overhear cycle at paper-default history size."""
+
+    def run():
+        boe = BufferOccupancyEstimator("next", history_size=1000)
+        for i in range(2000):
+            boe.note_sent(i & 0xFFFF)
+            if i % 2:
+                boe.note_overheard((i - 1) & 0xFFFF)
+        return boe.samples_produced
+
+    assert benchmark(run) == 1000
+
+
+def test_bench_winner_process_sampling(benchmark):
+    """Slot sampling for the stability random walk (hot loop)."""
+    rng = random.Random(1)
+    buffers = [INF, 3.0, 0.0, 5.0]
+    cw = (16, 16, 16, 16)
+
+    def run():
+        total = 0
+        for _ in range(5_000):
+            total += sum(sample_activation(buffers, cw, 4, rng))
+        return total
+
+    assert benchmark(run) > 0
+
+
+def test_bench_packet_simulation_rate(benchmark):
+    """Simulated-seconds-per-wall-second of the full MAC/PHY stack."""
+
+    def run():
+        network = linear_chain(hops=3, seed=1)
+        network.run(until_us=seconds(10))
+        return network.flow("F1").delivered
+
+    assert benchmark(run) > 0

@@ -1,0 +1,30 @@
+"""Section 6 bench: Table 4, Theorem 1 drift, random-walk contrast."""
+
+import pytest
+
+from repro.experiments import stability
+
+
+def test_bench_stability(benchmark, once):
+    result = once(benchmark, stability.run, slots=100_000, trials=400, seed=7)
+
+    # Table 4: closed forms agree with the winner process exactly.
+    table4 = result.find_table("Table 4")
+    for region, pattern, closed, process in table4.rows:
+        assert closed == pytest.approx(process, abs=1e-12)
+
+    # Theorem 1: negative k-step drift in every region outside S.
+    drift = result.find_table("Theorem 1")
+    assert len(drift.rows) == 7
+    for region, k, state, drift_value, negative in drift.rows:
+        assert negative, f"region {region} drift {drift_value}"
+
+    # Random walk: standard 802.11 diverges, EZ-flow stays bounded.
+    walk = {rule: (max_b1, delivered) for rule, slots, max_b1, final, delivered in walk_rows(result)}
+    assert walk["802.11 fixed cw"][0] > 20 * walk["EZ-flow"][0]
+    # EZ-flow pays no throughput price in the slotted model.
+    assert walk["EZ-flow"][1] >= 0.95 * walk["802.11 fixed cw"][1]
+
+
+def walk_rows(result):
+    return result.find_table("Random walk").rows

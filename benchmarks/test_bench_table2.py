@@ -1,0 +1,26 @@
+"""Table 2 bench: testbed throughput/fairness shapes with EZ-flow."""
+
+from repro.experiments import table2
+
+
+def test_bench_table2(benchmark, once):
+    result = once(benchmark, table2.run, duration_s=250.0, warmup_s=50.0, seed=4)
+    table = result.find_table("Table 2")
+
+    rows = {
+        (scenario, flow, ez): (measured, fi)
+        for scenario, ez, flow, paper, measured, sd, fi in table.rows
+    }
+    # Single-flow scenarios: EZ-flow raises throughput.
+    assert rows[("F1 alone", "F1", "on")][0] > rows[("F1 alone", "F1", "off")][0]
+    assert rows[("F2 alone", "F2", "on")][0] > rows[("F2 alone", "F2", "off")][0]
+    # Parking lot under 802.11: the long flow is starved.
+    f1_off = rows[("parking lot", "F1", "off")][0]
+    f2_off = rows[("parking lot", "F2", "off")][0]
+    assert f1_off < 0.3 * f2_off
+    # EZ-flow un-starves F1 and raises the fairness index.
+    f1_on = rows[("parking lot", "F1", "on")][0]
+    assert f1_on > 5 * max(f1_off, 1.0)
+    fi_off = float(rows[("parking lot", "F1", "off")][1])
+    fi_on = float(rows[("parking lot", "F1", "on")][1])
+    assert fi_on > fi_off + 0.1

@@ -1,0 +1,23 @@
+"""Table 3 bench: scenario-2 throughput, smoothness and fairness."""
+
+from repro.experiments import scenario2
+
+
+def test_bench_table3(benchmark, once):
+    result = once(benchmark, scenario2.run, time_scale=0.05, seed=6)
+    table = result.find_table("Table 3")
+
+    rows = {
+        (period, ez, flow): (thr, fi)
+        for period, ez, flow, paper, thr, sd, fi, pd in table.rows
+    }
+    # Period 2 (all three flows): EZ-flow raises the aggregate
+    # throughput (paper: +62%) and the fairness index (0.64 -> 0.80).
+    agg_off = sum(rows[("P2", "off", f)][0] for f in ("F1", "F2", "F3"))
+    agg_on = sum(rows[("P2", "on", f)][0] for f in ("F1", "F2", "F3"))
+    assert agg_on > 1.3 * agg_off
+    fi_off = float(rows[("P2", "off", "F1")][1])
+    fi_on = float(rows[("P2", "on", "F1")][1])
+    assert fi_on > fi_off
+    # Period 3: F1 alone recovers high throughput (paper: 180 kb/s).
+    assert rows[("P3", "on", "F1")][0] > 1.2 * rows[("P3", "off", "F1")][0]

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Mesh-backhaul uplink: compare EZ-flow against every baseline.
+
+The paper's motivating workload (Figure 5): two 8-hop flows merge at a
+gateway, as when neighbourhood access points funnel traffic to the
+wired Internet. This example runs the merge topology under four
+mechanisms and prints a comparison table:
+
+* standard IEEE 802.11 (no flow control);
+* EZ-flow (this paper: passive estimation, no message passing);
+* the static penalty-q strategy of [9] (needs the right q per topology);
+* a DiffQ-style differential-backlog controller (message passing).
+
+Run:  python examples/mesh_backhaul.py [--time-scale 0.1]
+"""
+
+import argparse
+
+from repro.baselines.diffq import attach_diffq
+from repro.baselines.penalty import apply_penalty
+from repro.core import attach_ezflow
+from repro.metrics.fairness import jain_fairness_index
+from repro.sim.units import seconds
+from repro.topology.scenario1 import F2_START_S, F2_STOP_S, scenario1_network
+
+
+def run(mechanism: str, time_scale: float, seed: int):
+    network = scenario1_network(seed=seed, time_scale=time_scale)
+    if mechanism == "ezflow":
+        attach_ezflow(network.nodes)
+    elif mechanism == "penalty":
+        network.run(until_us=seconds(1))  # create MAC entities
+        apply_penalty(network.nodes, sources=[11, 12], q=1 / 128)
+    elif mechanism == "diffq":
+        attach_diffq(network.nodes)
+    elif mechanism != "802.11":
+        raise ValueError(mechanism)
+
+    stop = seconds(F2_STOP_S * time_scale)
+    start = seconds(F2_START_S * time_scale)
+    settled = start + (stop - start) // 3
+    network.run(until_us=stop)
+
+    flows = ("F1", "F2")
+    throughput = {
+        f: network.flow(f).throughput_bps(settled, stop) / 1000.0 for f in flows
+    }
+    delay = {f: network.flow(f).mean_path_delay_s(settled, stop) for f in flows}
+    fairness = jain_fairness_index(throughput.values())
+    return throughput, delay, fairness
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--time-scale", type=float, default=0.1)
+    parser.add_argument("--seed", type=int, default=5)
+    args = parser.parse_args()
+
+    print("== two 8-hop flows merging at a gateway (both active) ==\n")
+    header = f"{'mechanism':<12} {'F1 kb/s':>8} {'F2 kb/s':>8} {'sum':>8} {'FI':>5} {'d1 s':>6} {'d2 s':>6}"
+    print(header)
+    print("-" * len(header))
+    for mechanism in ("802.11", "ezflow", "penalty", "diffq"):
+        throughput, delay, fairness = run(mechanism, args.time_scale, args.seed)
+        print(
+            f"{mechanism:<12} {throughput['F1']:>8.1f} {throughput['F2']:>8.1f} "
+            f"{sum(throughput.values()):>8.1f} {fairness:>5.2f} "
+            f"{delay['F1']:>6.2f} {delay['F2']:>6.2f}"
+        )
+    print(
+        "\nEZ-flow should match or beat the static penalty (which was"
+        "\nhand-tuned for this very topology) without knowing q, and do so"
+        "\nwithout DiffQ's per-packet header overhead."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Quickstart: stabilize an unstable 4-hop 802.11 chain with EZ-flow.
+
+Builds the smallest topology the paper proves unstable (Figure 1 /
+Theorem 1), runs it with standard IEEE 802.11 and again with EZ-flow,
+and prints throughput, relay buffers and the adapted contention
+windows.
+
+Run:  python examples/quickstart.py [--hops 4] [--duration 120]
+"""
+
+import argparse
+
+from repro import attach_ezflow, linear_chain
+from repro.sim.units import seconds
+
+
+def run(hops: int, duration_s: float, seed: int, ezflow: bool):
+    network = linear_chain(hops=hops, seed=seed)
+    controllers = attach_ezflow(network.nodes) if ezflow else {}
+    network.run(until_us=seconds(duration_s))
+
+    warmup = seconds(duration_s * 0.25)
+    horizon = seconds(duration_s)
+    throughput = network.flow("F1").throughput_bps(warmup, horizon) / 1000.0
+    buffers = [network.nodes[n].total_buffer_occupancy() for n in range(1, hops)]
+    windows = {
+        node_id: {succ: caa.cw for succ, caa in controller.caas.items()}
+        for node_id, controller in controllers.items()
+        if controller.caas
+    }
+    return throughput, buffers, windows
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--hops", type=int, default=4)
+    parser.add_argument("--duration", type=float, default=120.0)
+    parser.add_argument("--seed", type=int, default=3)
+    args = parser.parse_args()
+
+    print(f"== {args.hops}-hop chain, saturated source, {args.duration:.0f} s ==\n")
+    for ezflow in (False, True):
+        label = "EZ-flow" if ezflow else "standard IEEE 802.11"
+        throughput, buffers, windows = run(args.hops, args.duration, args.seed, ezflow)
+        print(f"{label}:")
+        print(f"  end-to-end throughput : {throughput:8.1f} kb/s")
+        print(f"  relay buffers (final) : {buffers}")
+        if windows:
+            print(f"  contention windows    : {windows}")
+        print()
+    print(
+        "Expected shape (paper, Figure 1 + Section 5): without EZ-flow the\n"
+        "first relay saturates at 50 packets; with EZ-flow the source\n"
+        "throttles itself (large cw), buffers stay near zero and\n"
+        "throughput rises."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Section 6 in action: the random walk, Table 4 and Theorem 1.
+
+Three demonstrations of the analytical model:
+
+1. prints Table 4 (the per-region activation distribution of a 4-hop
+   chain) for a chosen contention-window assignment;
+2. runs the (b, cw) random walk with standard 802.11 and with EZ-flow,
+   printing buffer trajectories — instability vs stability;
+3. estimates the k-step Foster-Lyapunov drift in each region outside
+   the finite set S, with the k values from the proof of Theorem 1.
+
+Run:  python examples/stability_analysis.py [--slots 100000]
+"""
+
+import argparse
+
+from repro.analysis import (
+    EZFlowRule,
+    FixedCwRule,
+    ModelConfig,
+    SlottedChainModel,
+    table4_distribution,
+    verify_theorem1,
+)
+from repro.analysis.regions import REGIONS_4HOP
+
+
+def show_table4(cw):
+    print(f"== Table 4: activation distribution per region, cw={cw} ==")
+    for region in sorted(REGIONS_4HOP):
+        distribution = table4_distribution(region, cw)
+        rows = ", ".join(
+            f"z={''.join(map(str, pattern))}: {probability:.3f}"
+            for pattern, probability in sorted(distribution.items())
+        )
+        print(f"  {region}: {rows}")
+    print()
+
+
+def show_walk(slots, seed):
+    print(f"== random walk, {slots} slots ==")
+    config = ModelConfig(hops=4)
+    for rule, label in ((FixedCwRule(), "802.11"), (EZFlowRule(config), "EZ-flow")):
+        model = SlottedChainModel(config, rule=rule, seed=seed)
+        checkpoints = []
+        step = slots // 8
+        for _ in range(8):
+            model.run(step)
+            checkpoints.append(int(model.relay_buffers[0]))
+        print(
+            f"  {label:<8} b1 checkpoints: {checkpoints}  "
+            f"delivered={model.delivered}  final cw={model.cw}"
+        )
+    print()
+
+
+def show_drift(trials, seed):
+    print("== Theorem 1: k-step Foster drift outside S ==")
+    for report in verify_theorem1(trials=trials, seed=seed):
+        status = "OK (negative)" if report.negative else "VIOLATED"
+        print(
+            f"  region {report.region} (k={report.k:>2}, state={report.buffers}): "
+            f"drift {report.drift:+.6f}  {status}"
+        )
+    print()
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--slots", type=int, default=100_000)
+    parser.add_argument("--trials", type=int, default=500)
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args()
+
+    show_table4((16, 16, 16, 16))
+    show_table4((2048, 16, 16, 16))  # EZ-flow's converged assignment
+    show_walk(args.slots, args.seed)
+    show_drift(args.trials, args.seed)
+    print(
+        "With fixed windows b1 grows without bound (the 4-hop instability\n"
+        "of [9]); with EZ-flow the same walk is ergodic — every drift is\n"
+        "negative, so Foster's criterion (Theorem 2) applies."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,116 @@
+"""The per-slot contention/winner process and its exact distribution.
+
+One slot of the slotted model resolves as follows (this is the process
+whose outcome probabilities Table 4 tabulates for K = 4):
+
+* among the current *contenders* (backlogged nodes, source always
+  backlogged, destination never contends), a winner is drawn with
+  probability proportional to ``1/cw`` — the node with the smallest
+  expected backoff;
+* the winner transmits; its 1-hop neighbours carrier-sense it and
+  defer — they leave the contender set;
+* every remaining contender is hidden from all transmitters so far
+  (>= 2 hops away) and keeps contending: recurse on the reduced set;
+* when no contenders remain, the transmitter set is fixed and link
+  outcomes are computed: link i -> i+1 succeeds iff node i+2 is not
+  transmitting (the only node adjacent to the receiver that can still
+  be transmitting; 2-hop interferers are captured, see repro.phy).
+
+``activation_distribution`` expands the full probability tree exactly;
+``sample_activation`` draws one outcome (used by the random-walk
+simulator); ``successful_links`` applies the interference rule.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Tuple
+
+Pattern = Tuple[int, ...]
+
+
+def _winner_weights(contenders: Sequence[int], cw: Sequence[int]) -> List[float]:
+    """Contention win weights: node i wins proportionally to 1/cw_i."""
+    return [1.0 / cw[i] for i in contenders]
+
+
+def _transmitter_sets(
+    contenders: FrozenSet[int], cw: Sequence[int]
+) -> Dict[FrozenSet[int], float]:
+    """Exact distribution over final transmitter sets (probability tree)."""
+    if not contenders:
+        return {frozenset(): 1.0}
+    result: Dict[FrozenSet[int], float] = {}
+    ordered = sorted(contenders)
+    weights = _winner_weights(ordered, cw)
+    total = sum(weights)
+    for node, weight in zip(ordered, weights):
+        p_win = weight / total
+        # The winner's 1-hop neighbours defer; everyone else (>= 2 hops
+        # from the winner) is hidden and keeps contending.
+        remaining = frozenset(
+            other for other in contenders if other != node and abs(other - node) > 1
+        )
+        for sub, p_sub in _transmitter_sets(remaining, cw).items():
+            key = sub | {node}
+            result[key] = result.get(key, 0.0) + p_win * p_sub
+    return result
+
+
+def successful_links(transmitters: Iterable[int], hops: int) -> Pattern:
+    """Apply the interference rule to a transmitter set.
+
+    Link i (node i -> node i+1) succeeds iff node i transmits and node
+    i+2 does not: the receiver's *other* potential 1-hop interferer.
+    (Transmitters are >= 2 hops apart by construction of the winner
+    process, so node i+1 itself never transmits concurrently.)
+    """
+    tx = set(transmitters)
+    return tuple(
+        1 if (i in tx and (i + 2) not in tx) else 0 for i in range(hops)
+    )
+
+
+def activation_distribution(
+    buffers: Sequence[float],
+    cw: Sequence[int],
+    hops: int,
+) -> Dict[Pattern, float]:
+    """Exact distribution of the activation vector z for one slot.
+
+    ``buffers[i]`` is node i's backlog with ``buffers[0]`` the saturated
+    source (use ``float('inf')``). ``cw`` has one entry per node
+    0..hops-1 (the destination never transmits). Returns a dict mapping
+    activation patterns (length ``hops``) to probabilities; patterns
+    with zero probability are omitted.
+    """
+    if len(cw) < hops:
+        raise ValueError("need a cw entry for every transmitting node")
+    contenders = frozenset(
+        i for i in range(hops) if (i == 0 or buffers[i] > 0)
+    )
+    distribution: Dict[Pattern, float] = {}
+    for tx_set, probability in _transmitter_sets(contenders, cw).items():
+        pattern = successful_links(tx_set, hops)
+        distribution[pattern] = distribution.get(pattern, 0.0) + probability
+    return distribution
+
+
+def sample_activation(
+    buffers: Sequence[float],
+    cw: Sequence[int],
+    hops: int,
+    rng: random.Random,
+) -> Pattern:
+    """Draw one activation vector by running the winner process."""
+    contenders = set(i for i in range(hops) if (i == 0 or buffers[i] > 0))
+    transmitters: List[int] = []
+    while contenders:
+        ordered = sorted(contenders)
+        weights = _winner_weights(ordered, cw)
+        winner = rng.choices(ordered, weights=weights)[0]
+        transmitters.append(winner)
+        contenders = {
+            other for other in contenders if other != winner and abs(other - winner) > 1
+        }
+    return successful_links(transmitters, hops)

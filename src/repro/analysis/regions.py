@@ -1,0 +1,108 @@
+"""Regions A-H of the 4-hop state space and the closed forms of Table 4.
+
+The positive orthant of Z^3 (buffer states of relays 1..3) splits into
+eight regions by which entries of (b1, b2, b3) are zero. Table 4 of the
+paper lists, per region, the distribution of the activation vector
+``z = (z0, z1, z2, z3)``; ``table4_distribution`` implements those
+formulas verbatim. Tests verify they agree exactly with the general
+winner process in :mod:`repro.analysis.activation`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+Pattern = Tuple[int, int, int, int]
+
+#: Region name -> (b1 nonzero, b2 nonzero, b3 nonzero).
+REGIONS_4HOP: Dict[str, Tuple[bool, bool, bool]] = {
+    "A": (False, False, False),
+    "B": (True, False, False),
+    "C": (False, True, False),
+    "D": (False, False, True),
+    "E": (True, True, False),
+    "F": (True, False, True),
+    "G": (False, True, True),
+    "H": (True, True, True),
+}
+
+
+def region_of(b1: float, b2: float, b3: float) -> str:
+    """Name of the region containing relay-buffer state (b1, b2, b3)."""
+    key = (b1 > 0, b2 > 0, b3 > 0)
+    for name, signature in REGIONS_4HOP.items():
+        if signature == key:
+            return name
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+def table4_distribution(region: str, cw: Sequence[int]) -> Dict[Pattern, float]:
+    """The activation distribution of Table 4 for a 4-hop chain.
+
+    ``cw`` holds (cw0, cw1, cw2, cw3). Patterns absent from the dict
+    have probability zero.
+    """
+    if len(cw) < 4:
+        raise ValueError("need cw0..cw3")
+    cw0, cw1, cw2, cw3 = (float(cw[i]) for i in range(4))
+
+    if region == "A":
+        return {(1, 0, 0, 0): 1.0}
+    if region == "B":
+        total = cw0 + cw1
+        return {
+            (1, 0, 0, 0): cw1 / total,
+            (0, 1, 0, 0): cw0 / total,
+        }
+    if region == "C":
+        return {(0, 0, 1, 0): 1.0}
+    if region == "D":
+        return {(1, 0, 0, 1): 1.0}
+    if region == "E":
+        denom = cw1 * cw2 + cw0 * cw2 + cw0 * cw1
+        p_link1 = cw0 * cw2 / denom
+        return {
+            (0, 1, 0, 0): p_link1,
+            (0, 0, 1, 0): 1.0 - p_link1,
+        }
+    if region == "F":
+        denom = cw1 * cw3 + cw0 * cw3 + cw0 * cw1
+        p_sink = cw0 * cw3 / denom + (cw0 * cw1 / denom) * (cw0 / (cw0 + cw1))
+        p_both = cw1 * cw3 / denom + (cw0 * cw1 / denom) * (cw1 / (cw0 + cw1))
+        return {
+            (0, 0, 0, 1): p_sink,
+            (1, 0, 0, 1): p_both,
+        }
+    if region == "G":
+        denom = cw2 * cw3 + cw0 * cw3 + cw0 * cw2
+        p_link2 = cw0 * cw3 / denom + (cw2 * cw3 / denom) * (cw3 / (cw2 + cw3))
+        p_both = cw0 * cw2 / denom + (cw2 * cw3 / denom) * (cw2 / (cw2 + cw3))
+        return {
+            (0, 0, 1, 0): p_link2,
+            (1, 0, 0, 1): p_both,
+        }
+    if region == "H":
+        denom = (
+            cw1 * cw2 * cw3
+            + cw0 * cw2 * cw3
+            + cw0 * cw1 * cw3
+            + cw0 * cw1 * cw2
+        )
+        p_link2 = (
+            cw0 * cw1 * cw3 / denom
+            + (cw1 * cw2 * cw3 / denom) * (cw3 / (cw2 + cw3))
+        )
+        p_sink = (
+            cw0 * cw2 * cw3 / denom
+            + (cw0 * cw1 * cw2 / denom) * (cw0 / (cw0 + cw1))
+        )
+        p_both = (
+            (cw1 * cw2 * cw3 / denom) * (cw2 / (cw2 + cw3))
+            + (cw0 * cw1 * cw2 / denom) * (cw1 / (cw0 + cw1))
+        )
+        return {
+            (0, 0, 1, 0): p_link2,
+            (0, 0, 0, 1): p_sink,
+            (1, 0, 0, 1): p_both,
+        }
+    raise ValueError(f"unknown region {region!r}")

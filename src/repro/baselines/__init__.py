@@ -1,0 +1,20 @@
+"""Comparison mechanisms.
+
+* standard IEEE 802.11 (no adaptation at all) — the paper's baseline;
+* the static penalty-q strategy of Aziz et al. [9], which EZ-flow is
+  designed to discover automatically;
+* a DiffQ-style differential-backlog controller (Warrier et al.), which
+  *does* use message passing — included to quantify what EZ-flow gives
+  up (nothing, per the paper) by avoiding explicit queue advertisement.
+"""
+
+from repro.baselines.penalty import PenaltyStrategy, apply_penalty
+from repro.baselines.diffq import DiffQController, DiffQConfig, attach_diffq
+
+__all__ = [
+    "PenaltyStrategy",
+    "apply_penalty",
+    "DiffQController",
+    "DiffQConfig",
+    "attach_diffq",
+]

@@ -1,0 +1,88 @@
+"""Buffer Occupancy Estimator (BOE), Section 3.2 / Algorithm 1.
+
+Node ``N_k`` remembers the identifiers (16-bit transport checksums) of
+the last ``history_size`` packets it handed to its successor ``N_{k+1}``.
+When the sniffer overhears ``N_{k+1}`` forwarding a packet onward to
+``N_{k+2}``, FIFO queueing implies that every identifier stored *after*
+the overheard one is still sitting in the successor's buffer:
+
+    b_{k+1} = #identifiers between the overheard packet and LastPktSent.
+
+No message is ever exchanged; the estimate is exact whenever the
+overheard packet is found in the history, and the mechanism degrades
+gracefully when overhearings are missed (fewer, not wrong, samples).
+
+Identifier collisions in the 16-bit space are handled by matching the
+*most recent* occurrence, which biases the estimate low by the collision
+distance — rare (1/65536 per pair) and harmless, as the CAA averages 50
+samples.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Hashable, List, Optional
+
+
+class BufferOccupancyEstimator:
+    """Passive successor-buffer estimation for one (node, successor) pair."""
+
+    def __init__(self, successor: Hashable, history_size: int = 1000):
+        if history_size < 2:
+            raise ValueError("history_size must be >= 2")
+        self.successor = successor
+        self.history_size = history_size
+        # Identifiers of packets sent to the successor, oldest first.
+        self._sent: Deque[int] = deque(maxlen=history_size)
+        # Subscribers receiving each new raw sample b_{k+1}.
+        self.sample_callbacks: List[Callable[[int], None]] = []
+        self.samples_produced = 0
+        self.overheard_unmatched = 0
+
+    # -- Algorithm 1, transmission branch ---------------------------------
+
+    def note_sent(self, checksum: int) -> None:
+        """Record the identifier of a packet handed to the successor.
+
+        The deque's ``maxlen`` implements "overwrite oldest entry if
+        needed"; the rightmost element is ``LastPktSent``.
+        """
+        self._sent.append(checksum & 0xFFFF)
+
+    # -- Algorithm 1, sniffing branch -----------------------------------
+
+    def note_overheard(self, checksum: int) -> Optional[int]:
+        """Process an overheard forwarding by the successor.
+
+        Returns the new estimate ``b_{k+1}``, or None when the identifier
+        is not in the send history (e.g. packets of another flow merging
+        at the successor, or history overrun).
+        """
+        checksum &= 0xFFFF
+        # Search from the most recent entry backwards: under FIFO the
+        # overheard packet is the *earliest* unforwarded one, but on
+        # checksum collision the most recent match minimises error and a
+        # reverse scan is O(current queue), not O(history).
+        index = None
+        for offset, value in enumerate(reversed(self._sent)):
+            if value == checksum:
+                index = len(self._sent) - 1 - offset
+                break
+        if index is None:
+            self.overheard_unmatched += 1
+            return None
+        estimate = len(self._sent) - 1 - index
+        # Everything up to and including the overheard packet has left
+        # the successor's buffer; drop it so stale entries cannot match
+        # later overhearings (retransmissions, 16-bit collisions).
+        for _ in range(index + 1):
+            self._sent.popleft()
+        self.samples_produced += 1
+        for callback in self.sample_callbacks:
+            callback(estimate)
+        return estimate
+
+    @property
+    def pending(self) -> int:
+        """Identifiers currently believed to be queued at the successor."""
+        return len(self._sent)

@@ -1,0 +1,39 @@
+"""EZ-flow parameter set.
+
+Defaults are the paper's simulation parameters (Section 5.1):
+``b_min = 0.05``, ``b_max = 20``, ``maxcw = 2^15``, ``mincw = 2^4``,
+50-sample averaging, 1000-identifier send history.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class EZFlowConfig:
+    """All tunables of the EZ-flow mechanism."""
+
+    b_min: float = 0.05
+    b_max: float = 20.0
+    mincw: int = 16
+    maxcw: int = 32768
+    sample_window: int = 50
+    history_size: int = 1000
+    countdown_base: int = 15
+
+    def __post_init__(self):
+        if self.b_min < 0 or self.b_max <= self.b_min:
+            raise ValueError("need 0 <= b_min < b_max")
+        for name in ("mincw", "maxcw"):
+            value = getattr(self, name)
+            if value < 1 or value & (value - 1):
+                raise ValueError(f"{name} must be a positive power of two")
+        if self.maxcw < self.mincw:
+            raise ValueError("maxcw must be >= mincw")
+        if self.sample_window < 1:
+            raise ValueError("sample_window must be >= 1")
+        if self.history_size < 2:
+            raise ValueError("history_size must be >= 2")
+        if self.countdown_base < 1:
+            raise ValueError("countdown_base must be >= 1")

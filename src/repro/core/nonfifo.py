@@ -1,0 +1,94 @@
+"""BOE extension for non-FIFO (opportunistic) forwarding.
+
+Section 2.3 discusses combining EZ-flow with opportunistic routing
+(ExOR-style): when the successor does not forward in strict FIFO order,
+the gap between an overheard packet and ``LastPktSent`` is a *noisy*
+estimate of the backlog, and the paper suggests smoothing it over a
+larger averaging period.
+
+``NonFifoBOE`` implements that: on an overheard forwarding it removes
+only the matched identifier (packets behind it may legitimately leave
+first under opportunistic forwarding), reports the raw gap as the
+sample, and exposes a windowed-median smoother the CAA can subscribe to
+instead of the raw stream. Under strictly FIFO forwarding its median
+output converges to the plain BOE's estimate.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Hashable, List, Optional
+
+from repro.metrics.stats import percentile
+
+
+class NonFifoBOE:
+    """Passive backlog estimation tolerant to out-of-order forwarding."""
+
+    def __init__(
+        self,
+        successor: Hashable,
+        history_size: int = 1000,
+        smoothing_window: int = 25,
+    ):
+        if history_size < 2:
+            raise ValueError("history_size must be >= 2")
+        if smoothing_window < 1:
+            raise ValueError("smoothing_window must be >= 1")
+        self.successor = successor
+        self.history_size = history_size
+        self.smoothing_window = smoothing_window
+        self._sent: Deque[int] = deque(maxlen=history_size)
+        self._recent: Deque[int] = deque(maxlen=smoothing_window)
+        self.sample_callbacks: List[Callable[[int], None]] = []
+        self.smoothed_callbacks: List[Callable[[float], None]] = []
+        self.samples_produced = 0
+        self.overheard_unmatched = 0
+
+    def note_sent(self, checksum: int) -> None:
+        """Record the identifier of a packet handed to the successor."""
+        self._sent.append(checksum & 0xFFFF)
+
+    def note_overheard(self, checksum: int) -> Optional[int]:
+        """Process an overheard forwarding; returns the raw gap sample.
+
+        Only the matched identifier is removed: with opportunistic
+        forwarding the packets recorded *before* it may still be queued
+        (they were not necessarily forwarded first), so pruning them —
+        what the FIFO BOE does — would bias the estimate low.
+        """
+        checksum &= 0xFFFF
+        index = None
+        for offset, value in enumerate(reversed(self._sent)):
+            if value == checksum:
+                index = len(self._sent) - 1 - offset
+                break
+        if index is None:
+            self.overheard_unmatched += 1
+            return None
+        gap = len(self._sent) - 1 - index
+        del self._sent[index]
+        self.samples_produced += 1
+        self._recent.append(gap)
+        for callback in self.sample_callbacks:
+            callback(gap)
+        smoothed = self.smoothed_estimate()
+        if smoothed is not None:
+            for callback in self.smoothed_callbacks:
+                callback(smoothed)
+        return gap
+
+    def smoothed_estimate(self) -> Optional[float]:
+        """Median of the recent gap samples (None before any sample).
+
+        The median is robust to the occasional large gap a reordered
+        forwarding produces, which is exactly the noise the paper's
+        "larger averaging period" is meant to absorb.
+        """
+        if not self._recent:
+            return None
+        return percentile(list(self._recent), 50.0)
+
+    @property
+    def pending(self) -> int:
+        return len(self._sent)

@@ -1,0 +1,69 @@
+"""CLI: regenerate any paper table or figure.
+
+Examples::
+
+    python -m repro.experiments fig1
+    python -m repro.experiments table2 --duration 1800
+    python -m repro.experiments scenario1 --time-scale 1.0
+    python -m repro.experiments all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import experiment_ids, get_experiment
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the EZ-flow paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        help=f"experiment id or 'all'; known: {', '.join(experiment_ids())}",
+    )
+    parser.add_argument("--seed", type=int, default=None, help="override the RNG seed")
+    parser.add_argument(
+        "--duration", type=float, default=None, help="run duration in seconds"
+    )
+    parser.add_argument(
+        "--time-scale",
+        type=float,
+        default=None,
+        help="schedule compression for scenario experiments (1.0 = paper)",
+    )
+    args = parser.parse_args(argv)
+
+    ids = experiment_ids() if args.experiment == "all" else [args.experiment]
+    # Collapse figure aliases so 'all' does not rerun shared harnesses.
+    seen = set()
+    for experiment_id in ids:
+        runner = get_experiment(experiment_id)
+        if runner in seen:
+            continue
+        seen.add(runner)
+        kwargs = {}
+        if args.seed is not None:
+            kwargs["seed"] = args.seed
+        if args.duration is not None:
+            kwargs["duration_s"] = args.duration
+        if args.time_scale is not None:
+            kwargs["time_scale"] = args.time_scale
+        started = time.time()
+        try:
+            result = runner(**kwargs)
+        except TypeError as error:
+            print(f"{experiment_id}: {error}", file=sys.stderr)
+            return 2
+        print(result.render())
+        print(f"(wall time {time.time() - started:.1f} s)")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,117 @@
+"""Shared experiment infrastructure.
+
+Every experiment module exposes ``run(...) -> ExperimentResult``. The
+result bundles named tables (rows of labelled values) and named series
+(time series for the paper's figures) plus the paper's reference
+numbers, so EXPERIMENTS.md can be generated mechanically and benches
+can assert on shapes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass
+class Table:
+    """A named table: column headers plus labelled rows."""
+
+    title: str
+    columns: List[str]
+    rows: List[List[object]] = field(default_factory=list)
+
+    def add(self, *values: object) -> None:
+        """Append one row (width-checked against the columns)."""
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row width {len(values)} != column count {len(self.columns)}"
+            )
+        self.rows.append(list(values))
+
+    def render(self) -> str:
+        """Format the table as aligned monospace text."""
+        def fmt(value: object) -> str:
+            if isinstance(value, float):
+                return f"{value:.2f}"
+            return str(value)
+
+        widths = [len(c) for c in self.columns]
+        body = [[fmt(v) for v in row] for row in self.rows]
+        for row in body:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = [self.title]
+        lines.append("  " + " | ".join(c.ljust(w) for c, w in zip(self.columns, widths)))
+        lines.append("  " + "-+-".join("-" * w for w in widths))
+        for row in body:
+            lines.append("  " + " | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def column(self, name: str) -> List[object]:
+        """All values of one column, in row order."""
+        idx = self.columns.index(name)
+        return [row[idx] for row in self.rows]
+
+
+@dataclass
+class ExperimentResult:
+    """Everything one experiment produces."""
+
+    experiment: str
+    description: str
+    parameters: Dict[str, object] = field(default_factory=dict)
+    tables: List[Table] = field(default_factory=list)
+    series: Dict[str, List[Tuple[float, float]]] = field(default_factory=dict)
+    notes: List[str] = field(default_factory=list)
+
+    def table(self, title: str, columns: Sequence[str]) -> Table:
+        """Create, register and return a new table."""
+        table = Table(title, list(columns))
+        self.tables.append(table)
+        return table
+
+    def find_table(self, title_fragment: str) -> Table:
+        """First table whose title contains the fragment (KeyError if none)."""
+        for table in self.tables:
+            if title_fragment in table.title:
+                return table
+        raise KeyError(f"no table matching {title_fragment!r}")
+
+    def render(self) -> str:
+        """Human-readable rendering of all tables, series and notes."""
+        lines = [f"=== {self.experiment}: {self.description} ==="]
+        if self.parameters:
+            params = ", ".join(f"{k}={v}" for k, v in sorted(self.parameters.items()))
+            lines.append(f"parameters: {params}")
+        for table in self.tables:
+            lines.append("")
+            lines.append(table.render())
+        for name, points in self.series.items():
+            lines.append("")
+            lines.append(f"series {name}: {len(points)} points " + sparkline(points))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+
+def sparkline(points: Sequence[Tuple[float, float]], width: int = 60) -> str:
+    """Compact unicode rendering of a series for terminal output."""
+    if not points:
+        return "(empty)"
+    values = [v for _, v in points]
+    lo, hi = min(values), max(values)
+    if hi <= lo:
+        return f"(constant {lo:.2f})"
+    blocks = "▁▂▃▄▅▆▇█"
+    step = max(1, len(values) // width)
+    sampled = values[::step][:width]
+    chars = [blocks[int((v - lo) / (hi - lo) * (len(blocks) - 1))] for v in sampled]
+    return f"[{lo:.2f}..{hi:.2f}] " + "".join(chars)
+
+
+def throughput_gain(before: float, after: float) -> float:
+    """Relative gain in percent (0.0 when before is 0)."""
+    if before <= 0:
+        return 0.0
+    return (after - before) / before * 100.0

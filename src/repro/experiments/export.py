@@ -1,0 +1,101 @@
+"""Export experiment results to files (CSV series + markdown tables).
+
+A reproduction is most useful when its figure data can be replotted:
+``export_result`` writes every series of an
+:class:`~repro.experiments.common.ExperimentResult` as a two-column CSV
+and every table as GitHub-flavoured markdown, under a directory named
+after the experiment.
+
+CLI::
+
+    python -m repro.experiments.export fig1 --out results/
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import os
+import time
+from typing import Optional
+
+from repro.experiments import get_experiment
+from repro.experiments.common import ExperimentResult, Table
+
+
+def table_to_markdown(table: Table) -> str:
+    """Render a result table as GitHub-flavoured markdown."""
+
+    def fmt(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.3f}"
+        return str(value)
+
+    lines = [f"### {table.title}", ""]
+    lines.append("| " + " | ".join(table.columns) + " |")
+    lines.append("|" + "|".join("---" for _ in table.columns) + "|")
+    for row in table.rows:
+        lines.append("| " + " | ".join(fmt(v) for v in row) + " |")
+    return "\n".join(lines)
+
+
+def export_result(result: ExperimentResult, out_dir: str) -> str:
+    """Write all series (CSV) and tables (markdown) of one result.
+
+    Returns the directory the files were written into.
+    """
+    target = os.path.join(out_dir, result.experiment)
+    os.makedirs(target, exist_ok=True)
+
+    for name, points in result.series.items():
+        safe = name.replace("/", "_")
+        with open(os.path.join(target, f"{safe}.csv"), "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["x", "y"])
+            writer.writerows(points)
+
+    sections = [f"# {result.experiment}: {result.description}", ""]
+    if result.parameters:
+        params = ", ".join(f"{k}={v}" for k, v in sorted(result.parameters.items()))
+        sections.append(f"Parameters: {params}")
+        sections.append("")
+    for table in result.tables:
+        sections.append(table_to_markdown(table))
+        sections.append("")
+    for note in result.notes:
+        sections.append(f"> {note}")
+    with open(os.path.join(target, "tables.md"), "w") as handle:
+        handle.write("\n".join(sections) + "\n")
+    return target
+
+
+def main(argv=None) -> int:
+    """CLI entry point: run one experiment and export its artefacts."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.export",
+        description="Run an experiment and export its series/tables to files.",
+    )
+    parser.add_argument("experiment", help="experiment id (see repro.experiments)")
+    parser.add_argument("--out", default="results", help="output directory")
+    parser.add_argument("--seed", type=int, default=None)
+    parser.add_argument("--duration", type=float, default=None)
+    parser.add_argument("--time-scale", type=float, default=None)
+    args = parser.parse_args(argv)
+
+    kwargs = {}
+    if args.seed is not None:
+        kwargs["seed"] = args.seed
+    if args.duration is not None:
+        kwargs["duration_s"] = args.duration
+    if args.time_scale is not None:
+        kwargs["time_scale"] = args.time_scale
+    started = time.time()
+    result = get_experiment(args.experiment)(**kwargs)
+    target = export_result(result, args.out)
+    print(f"wrote {target} ({len(result.series)} series, "
+          f"{len(result.tables)} tables, {time.time() - started:.1f} s)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

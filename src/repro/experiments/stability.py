@@ -1,0 +1,104 @@
+"""Section 6: Table 4 and the Theorem 1 stability verification.
+
+Three pieces:
+
+* the exact Table 4 activation distributions per region (printed for a
+  chosen cw configuration, cross-checked against the general winner
+  process);
+* the Foster-Lyapunov k-step drift of Theorem 1 in every region outside
+  the finite set S, with the paper's k values;
+* a long random-walk contrast: relay buffers under EZ-flow stay
+  bounded while fixed-cw standard 802.11 diverges (the 4-hop
+  instability of [9]).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.analysis import (
+    EZFlowRule,
+    FixedCwRule,
+    ModelConfig,
+    SlottedChainModel,
+    activation_distribution,
+    table4_distribution,
+    verify_theorem1,
+)
+from repro.analysis.regions import REGIONS_4HOP
+from repro.experiments.common import ExperimentResult
+
+INF = float("inf")
+
+
+def run(
+    slots: int = 200_000,
+    seed: int = 7,
+    cw: Sequence[int] = (16, 16, 16, 16),
+    trials: int = 1000,
+    hops: int = 4,
+) -> ExperimentResult:
+    """Regenerate Table 4 and verify Theorem 1 numerically."""
+    result = ExperimentResult(
+        "stability",
+        "Table 4 activation distributions and Theorem 1 drift verification",
+        parameters={"slots": slots, "seed": seed, "cw": tuple(cw)},
+    )
+
+    table4 = result.table(
+        "Table 4 (activation distribution per region)",
+        ["region", "pattern", "closed_form", "winner_process"],
+    )
+    for region, signature in REGIONS_4HOP.items():
+        buffers = [INF] + [10.0 if s else 0.0 for s in signature]
+        closed = table4_distribution(region, cw)
+        process = activation_distribution(buffers, cw, 4)
+        for pattern in sorted(set(closed) | set(process)):
+            table4.add(
+                region,
+                "".join(map(str, pattern)),
+                closed.get(pattern, 0.0),
+                process.get(pattern, 0.0),
+            )
+
+    drift_table = result.table(
+        "Theorem 1: k-step Foster drift outside S",
+        ["region", "k", "state", "drift", "negative"],
+    )
+    for report in verify_theorem1(trials=trials, seed=seed):
+        drift_table.add(
+            report.region,
+            report.k,
+            str(tuple(int(b) for b in report.buffers)),
+            f"{report.drift:+.6f}",
+            report.negative,
+        )
+
+    walk_table = result.table(
+        "Random walk: EZ-flow vs fixed-cw 802.11",
+        ["rule", "slots", "max_b1", "final_buffers", "delivered"],
+    )
+    cfg = ModelConfig(hops=hops)
+    for rule, label in ((FixedCwRule(), "802.11 fixed cw"), (EZFlowRule(cfg), "EZ-flow")):
+        model = SlottedChainModel(cfg, rule=rule, seed=seed)
+        max_b1 = 0.0
+        record = max(1, slots // 400)
+        trajectory = model.run(slots, record_every=record)
+        for _, buffers in trajectory:
+            max_b1 = max(max_b1, buffers[0])
+        walk_table.add(
+            label,
+            slots,
+            int(max_b1),
+            str(tuple(int(b) for b in model.relay_buffers)),
+            model.delivered,
+        )
+        result.series[f"walk.{label.replace(' ', '_')}.b1"] = [
+            (float(slot), buffers[0]) for slot, buffers in trajectory
+        ]
+    result.notes.append(
+        "Theorem 1 holds numerically when every drift is negative; the "
+        "fixed-cw walk's b1 grows linearly (unstable) while EZ-flow's "
+        "stays bounded"
+    )
+    return result

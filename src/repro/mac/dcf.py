@@ -1,0 +1,432 @@
+"""IEEE 802.11 DCF with per-queue contention entities.
+
+One :class:`Dcf` instance per node. The node may hold several transmit
+queues (own traffic vs forwarded, one per successor, as EZ-flow
+requires); each queue is driven by a :class:`TxEntity` running its own
+CSMA/CA backoff with its own ``CWmin`` — the single parameter EZ-flow's
+CAA adapts. Entities of the same node observe the same medium; if two
+fire in the same slot the first wins and the loser suffers a *virtual
+collision* (doubles its window and redraws), mirroring EDCA.
+
+Backoff is event-efficient: instead of per-slot timers, each entity
+schedules a single fire event and, when the medium turns busy, converts
+elapsed idle time back into consumed slots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Hashable, List, Optional
+
+from repro.mac.frames import Frame, FrameKind, make_ack_frame, make_data_frame
+from repro.mac.queues import FifoQueue
+from repro.phy.channel import Channel, PhyListener
+from repro.phy.rates import DSSS_1MBPS, PhyRates
+from repro.sim.engine import Engine, Event
+from repro.sim.rng import RngRegistry
+from repro.sim.tracing import TraceRecorder
+
+NodeId = Hashable
+
+
+@dataclass
+class DcfConfig:
+    """Tunable MAC parameters.
+
+    ``cwmin``/``cwmax`` bound the contention window; both must be powers
+    of two (the paper's hardware constraint). ``hw_cw_cap`` optionally
+    reproduces the Madwifi flaw where CWmin settings above 2^10 have no
+    effect (Section 4.1): EZ-flow may *request* larger windows but the
+    MAC clamps what is actually used.
+    """
+
+    cwmin: int = 16
+    cwmax: int = 1024
+    retry_limit: int = 7
+    rates: PhyRates = field(default_factory=lambda: DSSS_1MBPS)
+    ack_timeout_slack_us: int = 20
+    hw_cw_cap: Optional[int] = None
+    dedup_cache_size: int = 64
+
+    def __post_init__(self):
+        for name in ("cwmin", "cwmax"):
+            value = getattr(self, name)
+            if value < 1 or value & (value - 1):
+                raise ValueError(f"{name} must be a positive power of two")
+        if self.cwmax < self.cwmin:
+            raise ValueError("cwmax must be >= cwmin")
+        if self.retry_limit < 1:
+            raise ValueError("retry_limit must be >= 1")
+
+
+class TxEntity:
+    """Backoff state machine for one transmit queue."""
+
+    IDLE = "idle"
+    BACKOFF = "backoff"
+    TX = "tx"
+
+    def __init__(self, dcf: "Dcf", name: str, queue: FifoQueue, successor: NodeId):
+        self.dcf = dcf
+        self.name = name
+        self.queue = queue
+        self.successor = successor
+        self.cwmin = dcf.config.cwmin
+        self.cw = self.cwmin
+        #: EDCA arbitration IFS number; 2 reproduces legacy DIFS.
+        self.aifsn = 2
+        self.state = TxEntity.IDLE
+        self.retries = 0
+        self.slots_remaining = 0
+        self.backoff_started_at: Optional[int] = None
+        self.fire_event: Optional[Event] = None
+        self.pending_frame: Optional[Frame] = None
+        # Statistics.
+        self.tx_attempts = 0
+        self.tx_successes = 0
+        self.tx_drops = 0
+        self.virtual_collisions = 0
+
+    # -- CWmin adaptation (EZ-flow's knob) -----------------------------
+
+    def set_cwmin(self, cwmin: int) -> None:
+        """Adapt this queue's minimum contention window.
+
+        Takes effect on the next backoff draw; the hardware cap (if
+        configured) silently clamps the value actually used, like the
+        Madwifi firmware does.
+        """
+        if cwmin < 1 or cwmin & (cwmin - 1):
+            raise ValueError("cwmin must be a positive power of two")
+        self.cwmin = cwmin
+
+    def effective_cwmin(self) -> int:
+        """CWmin actually used: the requested value, hardware-clamped."""
+        cap = self.dcf.config.hw_cw_cap
+        if cap is not None:
+            return min(self.cwmin, cap)
+        return self.cwmin
+
+    # -- queue interaction ----------------------------------------------
+
+    def notify_enqueue(self) -> None:
+        """Called by the node stack after pushing into ``self.queue``."""
+        if self.state is TxEntity.IDLE and not self.queue.is_empty():
+            self._start_access()
+
+    def _start_access(self) -> None:
+        self.state = TxEntity.BACKOFF
+        self.retries = 0
+        self.cw = self.effective_cwmin()
+        self._draw_backoff()
+        self._try_resume()
+
+    def _draw_backoff(self) -> None:
+        self.slots_remaining = self.dcf.rng.randrange(self.cw)
+
+    # -- backoff clock ----------------------------------------------------
+
+    def _try_resume(self) -> None:
+        """(Re)arm the fire timer if the medium is idle."""
+        if self.state is not TxEntity.BACKOFF or self.fire_event is not None:
+            return
+        if not self.dcf.medium_idle():
+            return
+        rates = self.dcf.config.rates
+        ifs = self.dcf.current_ifs_us(self.aifsn)
+        delay = ifs + self.slots_remaining * rates.slot_time_us
+        self.backoff_started_at = self.dcf.engine.now + ifs
+        self.fire_event = self.dcf.engine.schedule(delay, self._fire)
+
+    def _suspend(self) -> None:
+        """Medium went busy: cancel the timer, bank consumed slots."""
+        if self.fire_event is None:
+            return
+        self.fire_event.cancel()
+        self.fire_event = None
+        now = self.dcf.engine.now
+        if self.backoff_started_at is not None and now > self.backoff_started_at:
+            elapsed_slots = (now - self.backoff_started_at) // self.dcf.config.rates.slot_time_us
+            self.slots_remaining = max(0, self.slots_remaining - int(elapsed_slots))
+        self.backoff_started_at = None
+
+    def _fire(self) -> None:
+        self.fire_event = None
+        self.backoff_started_at = None
+        self.slots_remaining = 0
+        if self.queue.is_empty():  # pragma: no cover - defensive
+            self.state = TxEntity.IDLE
+            return
+        if not self.dcf.medium_idle() or self.dcf.radio_busy():
+            # Lost an internal race: another entity of this node is
+            # transmitting (or still awaiting its ACK — the medium can
+            # be idle during the SIFS/ACK window after a lost ACK, but
+            # the radio's exchange is not over) -> virtual collision.
+            self.virtual_collisions += 1
+            self._on_failure()
+            return
+        self.state = TxEntity.TX
+        packet = self.queue.peek()
+        self.pending_frame = make_data_frame(
+            self.dcf.node_id, self.successor, packet, self.dcf.next_seq()
+        )
+        self.pending_frame.retry = self.retries > 0
+        self.tx_attempts += 1
+        self.dcf.start_data_transmission(self)
+
+    # -- outcomes ---------------------------------------------------------
+
+    def on_ack(self) -> None:
+        """ACK received for the pending frame."""
+        self.tx_successes += 1
+        packet = self.queue.pop()
+        frame = self.pending_frame
+        self.pending_frame = None
+        self.retries = 0
+        self.cw = self.effective_cwmin()
+        self.dcf.notify_tx_success(self, packet, frame)
+        self._next_or_idle()
+
+    def on_ack_timeout(self) -> None:
+        """No ACK arrived: collision or loss on the link."""
+        self.dcf.trace_bump("mac.ack_timeouts")
+        self._on_failure()
+
+    def _on_failure(self) -> None:
+        self.pending_frame = None
+        self.retries += 1
+        if self.retries > self.dcf.config.retry_limit:
+            packet = self.queue.pop()
+            self.tx_drops += 1
+            self.dcf.notify_tx_drop(self, packet)
+            self.retries = 0
+            self.cw = self.effective_cwmin()
+            self._next_or_idle()
+            return
+        self.cw = min(self.cw * 2, self.dcf.config.cwmax)
+        self.state = TxEntity.BACKOFF
+        self._draw_backoff()
+        self._try_resume()
+
+    def _next_or_idle(self) -> None:
+        if self.queue.is_empty():
+            self.state = TxEntity.IDLE
+        else:
+            # Post-backoff before the next frame.
+            self.state = TxEntity.BACKOFF
+            self._draw_backoff()
+            self._try_resume()
+
+
+class Dcf(PhyListener):
+    """The MAC of one node: several TxEntities sharing one radio."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        channel: Channel,
+        node_id: NodeId,
+        config: Optional[DcfConfig] = None,
+        rng: Optional[RngRegistry] = None,
+        trace: Optional[TraceRecorder] = None,
+    ):
+        self.engine = engine
+        self.channel = channel
+        self.node_id = node_id
+        self.config = config or DcfConfig()
+        registry = rng or RngRegistry(0)
+        self.rng = registry.stream(f"mac.{node_id}")
+        self.trace = trace
+        self.entities: List[TxEntity] = []
+        self._seq = 0
+        self._transmitting_entity: Optional[TxEntity] = None
+        self._ack_timeout_event: Optional[Event] = None
+        self._awaiting_ack_from: Optional[NodeId] = None
+        self._use_eifs = False
+        self._dedup: "OrderedDedup" = OrderedDedup(self.config.dedup_cache_size)
+        # Upper-layer callbacks (wired by the node stack).
+        self.on_data_received: Optional[Callable[[Frame, int], None]] = None
+        self.on_data_overheard: Optional[Callable[[Frame, int], None]] = None
+        self.on_tx_start: Optional[Callable[[TxEntity, Frame], None]] = None
+        self.on_tx_success: Optional[Callable[[TxEntity, object, Frame], None]] = None
+        self.on_tx_drop: Optional[Callable[[TxEntity, object], None]] = None
+        channel.attach(node_id, self)
+
+    # -- wiring -----------------------------------------------------------
+
+    def add_entity(self, name: str, queue: FifoQueue, successor: NodeId) -> TxEntity:
+        """Create the transmit entity for one (queue, successor) pair."""
+        entity = TxEntity(self, name, queue, successor)
+        self.entities.append(entity)
+        return entity
+
+    def next_seq(self) -> int:
+        """Allocate the next MAC sequence number of this node."""
+        self._seq += 1
+        return self._seq
+
+    def trace_bump(self, key: str) -> None:
+        """Increment a trace counter if tracing is enabled."""
+        if self.trace is not None:
+            self.trace.bump(key)
+
+    # -- medium state -----------------------------------------------------
+
+    def medium_idle(self) -> bool:
+        """True when this node senses no carrier and is not transmitting."""
+        return self.channel.is_idle(self.node_id)
+
+    def radio_busy(self) -> bool:
+        """True while a data/ACK exchange of this node is outstanding.
+
+        Guards against a second entity seizing the radio between the
+        end of a data frame and its (possibly lost) ACK, which would
+        orphan the first entity's exchange state.
+        """
+        return self._transmitting_entity is not None
+
+    def current_ifs_us(self, aifsn: int = 2) -> int:
+        """AIFS (= DIFS at AIFSN 2) normally, EIFS after a reception
+        error (802.11 rule). Per-entity AIFSN implements EDCA access
+        category priority."""
+        rates = self.config.rates
+        if self._use_eifs:
+            return rates.eifs_us
+        return rates.sifs_us + aifsn * rates.slot_time_us
+
+    # -- transmit path ------------------------------------------------------
+
+    def start_data_transmission(self, entity: TxEntity) -> None:
+        """Put the entity's pending frame on the air and arm the ACK wait."""
+        if self._transmitting_entity is not None:  # pragma: no cover
+            raise RuntimeError(
+                f"node {self.node_id!r}: transmission started while "
+                f"entity {self._transmitting_entity.name!r} awaits its ACK"
+            )
+        frame = entity.pending_frame
+        if self.on_tx_start is not None:
+            # Last chance to stamp per-frame metadata (e.g. DiffQ's
+            # piggybacked queue length) before the frame hits the air.
+            self.on_tx_start(entity, frame)
+        duration = self.config.rates.frame_tx_time_us(frame.size_bytes)
+        self._transmitting_entity = entity
+        self._awaiting_ack_from = entity.successor
+        self.channel.transmit(self.node_id, frame, duration)
+        self.trace_bump("mac.data_tx")
+        # Suspend every other entity: our own transmission occupies the radio.
+        for other in self.entities:
+            if other is not entity:
+                other._suspend()
+        rates = self.config.rates
+        timeout = (
+            duration
+            + rates.sifs_us
+            + rates.ack_tx_time_us()
+            + rates.slot_time_us
+            + self.config.ack_timeout_slack_us
+        )
+        self._ack_timeout_event = self.engine.schedule(timeout, self._ack_timed_out)
+
+    def _ack_timed_out(self) -> None:
+        self._ack_timeout_event = None
+        entity = self._transmitting_entity
+        self._transmitting_entity = None
+        self._awaiting_ack_from = None
+        if entity is not None:
+            entity.on_ack_timeout()
+        self._resume_all()
+
+    def notify_tx_success(self, entity: TxEntity, packet, frame: Frame) -> None:
+        """Propagate a confirmed (ACKed) handoff to the upper layer."""
+        self.trace_bump("mac.tx_success")
+        if self.on_tx_success is not None:
+            self.on_tx_success(entity, packet, frame)
+
+    def notify_tx_drop(self, entity: TxEntity, packet) -> None:
+        """Propagate a retry-limit drop to the upper layer."""
+        self.trace_bump("mac.tx_drop")
+        if self.on_tx_drop is not None:
+            self.on_tx_drop(entity, packet)
+
+    # -- PhyListener ---------------------------------------------------------
+
+    def on_medium_busy(self, now: int) -> None:
+        for entity in self.entities:
+            entity._suspend()
+
+    def on_medium_idle(self, now: int) -> None:
+        self._resume_all()
+
+    def _resume_all(self) -> None:
+        if not self.medium_idle():
+            return
+        for entity in self.entities:
+            entity._try_resume()
+
+    def on_frame_received(self, frame: Frame, now: int) -> None:
+        if frame.kind is FrameKind.ACK:
+            self._handle_ack(frame)
+            return
+        # DATA addressed to us: always ACK (802.11 ACKs even duplicates).
+        self._send_ack(frame)
+        self._use_eifs = False
+        if self._dedup.seen(frame.dedup_key()):
+            self.trace_bump("mac.duplicates")
+            return
+        if self.on_data_received is not None:
+            self.on_data_received(frame, now)
+
+    def _handle_ack(self, frame: Frame) -> None:
+        if (
+            self._transmitting_entity is not None
+            and frame.src == self._awaiting_ack_from
+        ):
+            if self._ack_timeout_event is not None:
+                self._ack_timeout_event.cancel()
+                self._ack_timeout_event = None
+            entity = self._transmitting_entity
+            self._transmitting_entity = None
+            self._awaiting_ack_from = None
+            self._use_eifs = False
+            entity.on_ack()
+            self._resume_all()
+
+    def _send_ack(self, data_frame: Frame) -> None:
+        """Reply with an ACK after SIFS (no carrier sense for ACKs)."""
+        ack = make_ack_frame(self.node_id, data_frame.src)
+        duration = self.config.rates.ack_tx_time_us()
+
+        def do_send():
+            if not self.channel.is_transmitting(self.node_id):
+                self.channel.transmit(self.node_id, ack, duration)
+                self.trace_bump("mac.ack_tx")
+
+        self.engine.schedule(self.config.rates.sifs_us, do_send)
+
+    def on_frame_overheard(self, frame: Frame, now: int) -> None:
+        self._use_eifs = False
+        if frame.kind is FrameKind.DATA and self.on_data_overheard is not None:
+            self.on_data_overheard(frame, now)
+
+    def on_frame_error(self, now: int) -> None:
+        self._use_eifs = True
+
+
+class OrderedDedup:
+    """Fixed-size recently-seen cache for duplicate filtering."""
+
+    def __init__(self, size: int):
+        self.size = size
+        self._order: List[tuple] = []
+        self._set: set = set()
+
+    def seen(self, key: tuple) -> bool:
+        """Record ``key``; return True when it was already present."""
+        if key in self._set:
+            return True
+        self._set.add(key)
+        self._order.append(key)
+        if len(self._order) > self.size:
+            old = self._order.pop(0)
+            self._set.discard(old)
+        return False

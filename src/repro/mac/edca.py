@@ -1,0 +1,87 @@
+"""802.11e EDCA access categories (the conclusion's deployment vehicle).
+
+Section 7 proposes mapping EZ-flow's per-successor queues onto the four
+EDCA MAC queues, each with its own contention parameters. EDCA
+differentiates queues by
+
+* ``AIFSN`` — the arbitration inter-frame space number; a queue waits
+  ``SIFS + AIFSN * slot`` of idle air before counting down (legacy DCF
+  is AIFSN = 2, i.e. DIFS);
+* ``CWmin``/``CWmax`` — per-queue window bounds.
+
+The DCF engine in :mod:`repro.mac.dcf` already runs one independent
+backoff entity per queue with per-entity ``CWmin`` and EDCA-style
+virtual collision resolution; this module adds the standard access
+category parameter sets and a helper to configure an entity as one.
+EZ-flow then owns the CWmin knob of each category while the AIFS keeps
+inter-category priority.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.mac.dcf import TxEntity
+
+
+@dataclass(frozen=True)
+class AccessCategory:
+    """One EDCA access category's contention parameters."""
+
+    name: str
+    aifsn: int
+    cwmin: int
+    cwmax: int
+
+    def __post_init__(self):
+        if self.aifsn < 1:
+            raise ValueError("AIFSN must be >= 1")
+        for field_name in ("cwmin", "cwmax"):
+            value = getattr(self, field_name)
+            if value < 1 or value & (value - 1):
+                raise ValueError(f"{field_name} must be a positive power of two")
+        if self.cwmax < self.cwmin:
+            raise ValueError("cwmax must be >= cwmin")
+
+
+#: The standard 802.11e parameter sets (for an 802.11b PHY, aCWmin=32).
+AC_VO = AccessCategory("VO", aifsn=2, cwmin=8, cwmax=16)
+AC_VI = AccessCategory("VI", aifsn=2, cwmin=16, cwmax=32)
+AC_BE = AccessCategory("BE", aifsn=3, cwmin=32, cwmax=1024)
+AC_BK = AccessCategory("BK", aifsn=7, cwmin=32, cwmax=1024)
+
+#: Categories by name, highest priority first.
+ACCESS_CATEGORIES: Dict[str, AccessCategory] = {
+    ac.name: ac for ac in (AC_VO, AC_VI, AC_BE, AC_BK)
+}
+
+
+def configure_entity(entity: TxEntity, category: AccessCategory) -> None:
+    """Apply an access category's parameters to a transmit entity.
+
+    EZ-flow may later override ``cwmin`` (that is the whole point); the
+    AIFSN stays with the category.
+    """
+    entity.aifsn = category.aifsn
+    entity.set_cwmin(category.cwmin)
+
+
+def assign_categories(entities, categories=None) -> Dict[str, TxEntity]:
+    """Map up to four entities onto access categories, in order.
+
+    This is the conclusion's trick: a node with up to four successors
+    dedicates one MAC queue (category) per successor, giving each its
+    own independently adaptable CWmin.
+    """
+    chosen = list(categories or (AC_VO, AC_VI, AC_BE, AC_BK))
+    entities = list(entities)
+    if len(entities) > len(chosen):
+        raise ValueError(
+            f"{len(entities)} queues but only {len(chosen)} access categories"
+        )
+    mapping: Dict[str, TxEntity] = {}
+    for entity, category in zip(entities, chosen):
+        configure_entity(entity, category)
+        mapping[category.name] = entity
+    return mapping

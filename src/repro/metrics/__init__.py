@@ -1,0 +1,21 @@
+"""Performance metrics: fairness, summary statistics, buffer sampling."""
+
+from repro.metrics.fairness import jain_fairness_index
+from repro.metrics.stats import (
+    FlowStats,
+    summarize_flow,
+    mean,
+    stddev,
+    percentile,
+)
+from repro.metrics.sampling import BufferSampler
+
+__all__ = [
+    "jain_fairness_index",
+    "FlowStats",
+    "summarize_flow",
+    "mean",
+    "stddev",
+    "percentile",
+    "BufferSampler",
+]

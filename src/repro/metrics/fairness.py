@@ -1,0 +1,28 @@
+"""Jain's fairness index, Eq. (1) of the paper.
+
+``FI = (sum x_i)^2 / (n * sum x_i^2)`` over per-flow throughputs
+``x_i``; 1.0 is perfectly fair, 1/n is maximally unfair (one flow gets
+everything).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def jain_fairness_index(throughputs: Iterable[float]) -> float:
+    """Compute Jain's index over per-flow throughput values.
+
+    Returns 1.0 for an empty set or all-zero throughputs by convention
+    (no flow is being treated unfairly when nothing is sent).
+    """
+    values: Sequence[float] = [float(x) for x in throughputs]
+    if any(x < 0 for x in values):
+        raise ValueError("throughputs must be non-negative")
+    if not values:
+        return 1.0
+    total = sum(values)
+    square_sum = sum(x * x for x in values)
+    if square_sum == 0.0:
+        return 1.0
+    return total * total / (len(values) * square_sum)

@@ -1,0 +1,15 @@
+"""Network layer: packets, static routing, the per-node stack, flows."""
+
+from repro.net.packet import Packet, checksum16
+from repro.net.routing import StaticRouting, RoutingError
+from repro.net.node import NodeStack
+from repro.net.flow import Flow
+
+__all__ = [
+    "Packet",
+    "checksum16",
+    "StaticRouting",
+    "RoutingError",
+    "NodeStack",
+    "Flow",
+]

@@ -1,0 +1,154 @@
+"""Per-node stack: queues, forwarding, delivery, sniffer hooks.
+
+Implements the queueing discipline Section 3.1 prescribes: a node that is
+both source and relay keeps the two roles in *separate* queues, and a
+node with several successors keeps one forwarding queue per successor.
+Each queue gets its own MAC transmit entity (its own CWmin).
+
+The stack also exposes the sniffer side-channel: every decoded overheard
+DATA frame is passed to registered sniffer callbacks — this is where
+EZ-flow's BOE taps in, and where a node's own transmissions are reported
+(send events) so the BOE can log sent identifiers.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, List, Optional, Tuple
+
+from repro.mac.dcf import Dcf, DcfConfig, TxEntity
+from repro.mac.frames import Frame
+from repro.mac.queues import DEFAULT_CAPACITY, FifoQueue
+from repro.net.flow import Flow
+from repro.net.packet import Packet
+from repro.net.routing import StaticRouting
+from repro.phy.channel import Channel
+from repro.sim.engine import Engine
+from repro.sim.rng import RngRegistry
+from repro.sim.tracing import TraceRecorder
+
+NodeId = Hashable
+
+#: queue kinds
+OWN = "own"
+FWD = "fwd"
+
+
+class NodeStack:
+    """One mesh node: traffic entry point, relay, and sink."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        channel: Channel,
+        routing: StaticRouting,
+        node_id: NodeId,
+        mac_config: Optional[DcfConfig] = None,
+        rng: Optional[RngRegistry] = None,
+        trace: Optional[TraceRecorder] = None,
+        queue_capacity: int = DEFAULT_CAPACITY,
+    ):
+        self.engine = engine
+        self.channel = channel
+        self.routing = routing
+        self.node_id = node_id
+        self.trace = trace
+        self.queue_capacity = queue_capacity
+        self.mac = Dcf(engine, channel, node_id, mac_config, rng, trace)
+        self.mac.on_data_received = self._on_data_received
+        self.mac.on_data_overheard = self._on_data_overheard
+        self.mac.on_tx_success = self._on_tx_success
+        self.mac.on_tx_drop = self._on_tx_drop
+        # (kind, successor) -> (queue, entity)
+        self._queues: Dict[Tuple[str, NodeId], Tuple[FifoQueue, TxEntity]] = {}
+        self._flows: Dict[Hashable, Flow] = {}
+        # Sniffer subscribers: fn(frame, now). Sent-packet subscribers:
+        # fn(entity, packet, frame, now) fired on MAC-confirmed handoff.
+        self.sniffer_callbacks: List[Callable[[Frame, int], None]] = []
+        self.sent_callbacks: List[Callable[[TxEntity, Packet, Frame, int], None]] = []
+        self.forwarded_callbacks: List[Callable[[TxEntity, Packet, Frame, int], None]] = []
+        self.delivered_callbacks: List[Callable[[Packet, int], None]] = []
+        self.source_drops = 0
+        self.relay_drops = 0
+
+    # -- flow registration -----------------------------------------------
+
+    def register_flow(self, flow: Flow) -> None:
+        """Make this node the sink-side accountant for ``flow``."""
+        self._flows[flow.flow_id] = flow
+
+    # -- queue management ---------------------------------------------------
+
+    def queue_for(self, kind: str, successor: NodeId) -> Tuple[FifoQueue, TxEntity]:
+        """Get or create the (queue, MAC entity) pair for a role+successor."""
+        key = (kind, successor)
+        if key not in self._queues:
+            name = f"node{self.node_id}.{kind}.to{successor}"
+            queue = FifoQueue(name, self.queue_capacity, self.trace, self.engine)
+            entity = self.mac.add_entity(name, queue, successor)
+            self._queues[key] = (queue, entity)
+        return self._queues[key]
+
+    def queues(self) -> Dict[Tuple[str, NodeId], Tuple[FifoQueue, TxEntity]]:
+        """Snapshot of all (kind, successor) -> (queue, entity) pairs."""
+        return dict(self._queues)
+
+    def forwarding_queue(self, successor: NodeId) -> FifoQueue:
+        """The relay queue toward ``successor`` (created on first use)."""
+        return self.queue_for(FWD, successor)[0]
+
+    def total_buffer_occupancy(self) -> int:
+        """Packets waiting in all queues of this node (Figures 1 and 4)."""
+        return sum(len(q) for q, _ in self._queues.values())
+
+    def forwarding_occupancy(self) -> int:
+        """Packets waiting in forwarding queues only."""
+        return sum(len(q) for (kind, _), (q, _) in self._queues.items() if kind == FWD)
+
+    # -- traffic entry (source role) ---------------------------------------
+
+    def send(self, packet: Packet) -> bool:
+        """Inject a locally generated packet; returns False when dropped."""
+        next_hop = self.routing.next_hop(self.node_id, packet.dst)
+        queue, entity = self.queue_for(OWN, next_hop)
+        accepted = queue.push(packet)
+        if accepted:
+            entity.notify_enqueue()
+        else:
+            self.source_drops += 1
+        return accepted
+
+    # -- MAC upcalls ----------------------------------------------------------
+
+    def _on_data_received(self, frame: Frame, now: int) -> None:
+        packet: Packet = frame.packet
+        packet.hops += 1
+        if packet.dst == self.node_id:
+            flow = self._flows.get(packet.flow_id)
+            if flow is not None:
+                flow.note_delivered(packet, now)
+            for callback in self.delivered_callbacks:
+                callback(packet, now)
+            return
+        # Relay role: enqueue toward the next hop.
+        next_hop = self.routing.next_hop(self.node_id, packet.dst)
+        queue, entity = self.queue_for(FWD, next_hop)
+        accepted = queue.push(packet)
+        if accepted:
+            entity.notify_enqueue()
+        else:
+            self.relay_drops += 1
+
+    def _on_data_overheard(self, frame: Frame, now: int) -> None:
+        for callback in self.sniffer_callbacks:
+            callback(frame, now)
+
+    def _on_tx_success(self, entity: TxEntity, packet: Packet, frame: Frame, *_: object) -> None:
+        now = self.engine.now
+        if packet.first_tx_at is None and packet.src == self.node_id:
+            packet.first_tx_at = now
+        for callback in self.sent_callbacks:
+            callback(entity, packet, frame, now)
+
+    def _on_tx_drop(self, entity: TxEntity, packet: Packet) -> None:
+        if self.trace is not None:
+            self.trace.bump(f"node{self.node_id}.mac_drops")

@@ -1,0 +1,67 @@
+"""End-to-end packets and their 16-bit identifiers.
+
+EZ-flow's BOE identifies packets by the transport-layer 16-bit checksum
+found in the header (no extra computation, no header modification). We
+model that identifier faithfully — including its collision behaviour in
+the 16-bit space — by hashing the packet's invariant fields down to 16
+bits.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Hashable, Optional
+
+DEFAULT_PACKET_BYTES = 1000
+
+
+def checksum16(flow_id: Hashable, seq: int, salt: int = 0) -> int:
+    """Deterministic 16-bit identifier, as a transport checksum stand-in.
+
+    Collisions occur at the genuine 1/65536 birthday rate, which is what
+    the BOE has to live with on a real network.
+    """
+    data = f"{flow_id}|{seq}|{salt}".encode()
+    return zlib.crc32(data) & 0xFFFF
+
+
+@dataclass
+class Packet:
+    """One transport datagram travelling source -> destination."""
+
+    flow_id: Hashable
+    seq: int
+    src: Hashable
+    dst: Hashable
+    size_bytes: int = DEFAULT_PACKET_BYTES
+    created_at: int = 0
+    delivered_at: Optional[int] = None
+    first_tx_at: Optional[int] = None
+    hops: int = 0
+    checksum: int = field(default=-1)
+
+    def __post_init__(self):
+        if self.size_bytes <= 0:
+            raise ValueError("size_bytes must be positive")
+        if self.checksum == -1:
+            self.checksum = checksum16(self.flow_id, self.seq)
+
+    @property
+    def delay_us(self) -> Optional[int]:
+        """End-to-end delay in microseconds (None until delivered)."""
+        if self.delivered_at is None:
+            return None
+        return self.delivered_at - self.created_at
+
+    @property
+    def path_delay_us(self) -> Optional[int]:
+        """Network-path delay: first successful hop -> delivery.
+
+        Excludes the queueing a saturating application inflicts on its
+        own source buffer, isolating the multi-hop (relay) delay the
+        flow-control mechanism governs.
+        """
+        if self.delivered_at is None or self.first_tx_at is None:
+            return None
+        return self.delivered_at - self.first_tx_at

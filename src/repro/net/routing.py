@@ -1,0 +1,75 @@
+"""Static routing (the NOAH agent of the ns-2 experiments).
+
+Routes never change during a run, exactly as in the paper: both the
+testbed and the simulations pin routes to isolate MAC-layer effects from
+route flaps and routing-protocol overhead.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Tuple
+
+NodeId = Hashable
+
+
+class RoutingError(Exception):
+    """No route, or an inconsistent route definition."""
+
+
+class StaticRouting:
+    """Per-node next-hop tables, with helpers to install whole paths."""
+
+    def __init__(self):
+        self._next_hop: Dict[Tuple[NodeId, NodeId], NodeId] = {}
+
+    def set_next_hop(self, node: NodeId, destination: NodeId, next_hop: NodeId) -> None:
+        """Install one routing entry: at ``node``, toward ``destination``."""
+        if node == destination:
+            raise RoutingError("a node needs no route to itself")
+        if next_hop == node:
+            raise RoutingError("next hop cannot be the node itself")
+        self._next_hop[(node, destination)] = next_hop
+
+    def install_path(self, path: List[NodeId]) -> None:
+        """Install next hops along ``path`` toward its final element.
+
+        ``path = [a, b, c, d]`` installs a->b, b->c, c->d for destination
+        ``d``.
+        """
+        if len(path) < 2:
+            raise RoutingError("a path needs at least two nodes")
+        if len(set(path)) != len(path):
+            raise RoutingError("path must not repeat nodes")
+        destination = path[-1]
+        for here, nxt in zip(path, path[1:]):
+            self.set_next_hop(here, destination, nxt)
+
+    def next_hop(self, node: NodeId, destination: NodeId) -> NodeId:
+        """The configured next hop (raises RoutingError when unrouted)."""
+        try:
+            return self._next_hop[(node, destination)]
+        except KeyError:
+            raise RoutingError(f"no route from {node!r} to {destination!r}") from None
+
+    def has_route(self, node: NodeId, destination: NodeId) -> bool:
+        """True when a next hop is installed for (node, destination)."""
+        return (node, destination) in self._next_hop
+
+    def successors_of(self, node: NodeId) -> List[NodeId]:
+        """Distinct next hops this node forwards to (queue-per-successor)."""
+        seen: List[NodeId] = []
+        for (here, _dst), nxt in self._next_hop.items():
+            if here == node and nxt not in seen:
+                seen.append(nxt)
+        return seen
+
+    def path(self, source: NodeId, destination: NodeId, max_hops: int = 64) -> List[NodeId]:
+        """Materialise the full path by following next hops."""
+        path = [source]
+        node = source
+        for _ in range(max_hops):
+            node = self.next_hop(node, destination)
+            path.append(node)
+            if node == destination:
+                return path
+        raise RoutingError(f"route {source!r}->{destination!r} exceeds {max_hops} hops (loop?)")

@@ -1,0 +1,29 @@
+"""Physical layer substrate.
+
+A protocol-model channel equivalent to ns-2's threshold reception under
+two-ray ground propagation: a frame is decodable inside the transmit
+range, and a transmitter interferes with (and is carrier-sensed by) every
+node inside the sensing range. Per-link erasure rates model lossy testbed
+links (Table 1 calibration).
+"""
+
+from repro.phy.channel import Channel, Transmission, PhyListener
+from repro.phy.propagation import (
+    Position,
+    distance,
+    TwoRayGround,
+    RangeModel,
+)
+from repro.phy.rates import PhyRates, DSSS_1MBPS
+
+__all__ = [
+    "Channel",
+    "Transmission",
+    "PhyListener",
+    "Position",
+    "distance",
+    "TwoRayGround",
+    "RangeModel",
+    "PhyRates",
+    "DSSS_1MBPS",
+]

@@ -1,0 +1,224 @@
+"""Shared wireless channel with collisions, erasures and overhearing.
+
+The channel tracks every in-flight transmission. A node inside the
+sender's sensing set perceives the medium busy for the frame's duration;
+a node inside the reception set decodes the frame at its end unless
+
+* it was itself transmitting during any part of the frame,
+* some other overlapping transmission was sensed at that node
+  (co-channel interference / hidden-terminal collision), or
+* an independent per-link erasure strikes (lossy-link calibration).
+
+Decoded frames addressed to the node are delivered via
+``on_frame_received``; decoded frames addressed elsewhere are delivered
+via ``on_frame_overheard`` — this is the broadcast-nature side channel
+EZ-flow's BOE relies on. Sensed-but-undecodable frame ends are reported
+via ``on_frame_error`` so the MAC can apply EIFS.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, List, Optional, Set
+
+from repro.phy.connectivity import ConnectivityMap, NodeId
+from repro.sim.engine import Engine
+from repro.sim.rng import RngRegistry
+from repro.sim.tracing import TraceRecorder
+
+
+class PhyListener:
+    """Callbacks a MAC entity implements to attach to the channel."""
+
+    def on_medium_busy(self, now: int) -> None:
+        """Medium transitioned idle -> busy at this node."""
+
+    def on_medium_idle(self, now: int) -> None:
+        """Medium transitioned busy -> idle at this node."""
+
+    def on_frame_received(self, frame, now: int) -> None:
+        """A decodable frame addressed to this node ended."""
+
+    def on_frame_overheard(self, frame, now: int) -> None:
+        """A decodable frame addressed to another node ended."""
+
+    def on_frame_error(self, now: int) -> None:
+        """A sensed frame ended undecodable (collision/erasure) here."""
+
+
+class Transmission:
+    """One in-flight frame."""
+
+    __slots__ = ("sender", "frame", "start", "end", "corrupted_at")
+
+    def __init__(self, sender: NodeId, frame, start: int, end: int):
+        self.sender = sender
+        self.frame = frame
+        self.start = start
+        self.end = end
+        # Nodes where this frame is already known to be undecodable.
+        self.corrupted_at: Set[NodeId] = set()
+
+    @property
+    def duration(self) -> int:
+        return self.end - self.start
+
+
+#: Default physical capture threshold (linear SIR), ns-2's classic 10 dB:
+#: a frame survives a concurrent interferer whose signal is >= 10x weaker.
+DEFAULT_CAPTURE_RATIO = 10.0
+
+
+class Channel:
+    """The shared medium; one instance per simulation."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        connectivity: ConnectivityMap,
+        rng: RngRegistry,
+        trace: Optional[TraceRecorder] = None,
+        capture_ratio: float = DEFAULT_CAPTURE_RATIO,
+    ):
+        self.engine = engine
+        self.connectivity = connectivity
+        self.rng = rng.stream("phy.erasures")
+        self.trace = trace
+        if capture_ratio < 1.0:
+            raise ValueError("capture_ratio must be >= 1 (linear SIR)")
+        self.capture_ratio = capture_ratio
+        self._listeners: Dict[NodeId, PhyListener] = {}
+        # Transmissions currently sensed at each node (excluding its own).
+        self._sensed: Dict[NodeId, Set[Transmission]] = {}
+        # The node's own in-flight transmission, if any.
+        self._own_tx: Dict[NodeId, Optional[Transmission]] = {}
+        # Directional erasure probability per (sender, receiver).
+        self._loss: Dict[tuple, float] = {}
+        # Probability an otherwise decodable *overheard* frame is missed
+        # by the sniffer at a given node (BOE robustness experiments).
+        self._overhear_loss: Dict[NodeId, float] = {}
+        self.active_transmissions: List[Transmission] = []
+
+    # -- wiring ---------------------------------------------------------
+
+    def attach(self, node_id: NodeId, listener: PhyListener) -> None:
+        """Register the MAC entity of ``node_id``."""
+        if node_id not in self.connectivity.nodes():
+            raise ValueError(f"node {node_id!r} not in connectivity map")
+        self._listeners[node_id] = listener
+        self._sensed.setdefault(node_id, set())
+        self._own_tx.setdefault(node_id, None)
+
+    def set_link_loss(self, sender: NodeId, receiver: NodeId, probability: float) -> None:
+        """Set the erasure probability of the directed link sender->receiver."""
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+        self._loss[(sender, receiver)] = probability
+
+    def set_overhear_loss(self, node_id: NodeId, probability: float) -> None:
+        """Set the sniffer miss probability at ``node_id``."""
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+        self._overhear_loss[node_id] = probability
+
+    # -- carrier sense --------------------------------------------------
+
+    def is_idle(self, node_id: NodeId) -> bool:
+        """True when ``node_id`` senses no transmission and is not sending."""
+        return not self._sensed[node_id] and self._own_tx[node_id] is None
+
+    def is_transmitting(self, node_id: NodeId) -> bool:
+        """True while ``node_id`` has a frame of its own in the air."""
+        return self._own_tx[node_id] is not None
+
+    # -- transmission ---------------------------------------------------
+
+    def transmit(self, sender: NodeId, frame, duration_us: int) -> Transmission:
+        """Start a frame transmission from ``sender`` lasting ``duration_us``.
+
+        The MAC must not call this while the sender already transmits.
+        Returns the transmission record; completion is self-scheduled.
+        """
+        if self._own_tx[sender] is not None:
+            raise RuntimeError(f"node {sender!r} is already transmitting")
+        if duration_us <= 0:
+            raise ValueError("duration must be positive")
+        now = self.engine.now
+        tx = Transmission(sender, frame, now, now + duration_us)
+        self._own_tx[sender] = tx
+        self.active_transmissions.append(tx)
+        if self.trace is not None:
+            self.trace.bump("phy.tx_started")
+
+        # Sorted iteration keeps event order independent of set-hash
+        # randomization (node ids may be strings), so identical seeds
+        # reproduce identical runs across processes.
+        for node in sorted(self.connectivity.sensors_of(sender), key=repr):
+            if node not in self._listeners:
+                continue
+            sensed = self._sensed[node]
+            # A node that is itself transmitting cannot decode anything.
+            if self._own_tx[node] is not None:
+                tx.corrupted_at.add(node)
+            # Physical capture: overlapping frames only corrupt each
+            # other at this node when their signal ratio is below the
+            # capture threshold. A 1-hop frame therefore survives 2-hop
+            # interference (d^-4 gives ~12 dB), which is what lets
+            # mutually hidden links fire in parallel successfully —
+            # the paper's Table 4 activation patterns.
+            p_new = self.connectivity.rx_power(node, sender)
+            for other in sensed:
+                p_old = self.connectivity.rx_power(node, other.sender)
+                if p_old < self.capture_ratio * p_new:
+                    other.corrupted_at.add(node)
+                if p_new < self.capture_ratio * p_old:
+                    tx.corrupted_at.add(node)
+            was_idle = not sensed and self._own_tx[node] is None
+            sensed.add(tx)
+            if was_idle:
+                self._listeners[node].on_medium_busy(now)
+
+        self.engine.schedule(duration_us, self._finish, tx)
+        return tx
+
+    def _finish(self, tx: Transmission) -> None:
+        now = self.engine.now
+        sender = tx.sender
+        self._own_tx[sender] = None
+        self.active_transmissions.remove(tx)
+
+        for node in sorted(self.connectivity.sensors_of(sender), key=repr):
+            if node not in self._listeners:
+                continue
+            sensed = self._sensed[node]
+            sensed.discard(tx)
+            listener = self._listeners[node]
+            receivable = self.connectivity.can_receive(node, sender)
+            decodable = receivable and node not in tx.corrupted_at
+            if decodable:
+                loss = self._loss.get((sender, node), 0.0)
+                if loss and self.rng.random() < loss:
+                    decodable = False
+            if decodable:
+                dst = getattr(tx.frame, "dst", None)
+                if dst == node:
+                    if self.trace is not None:
+                        self.trace.bump("phy.rx_ok")
+                    listener.on_frame_received(tx.frame, now)
+                else:
+                    miss = self._overhear_loss.get(node, 0.0)
+                    if not miss or self.rng.random() >= miss:
+                        listener.on_frame_overheard(tx.frame, now)
+            elif receivable:
+                # Reception-grade signal that arrived corrupted: the PHY
+                # saw a frame but could not decode it -> EIFS applies.
+                # Sense-only signals merely occupy the medium (no PLCP
+                # decode is attempted), matching ns-2's behaviour.
+                if self.trace is not None:
+                    self.trace.bump("phy.rx_error")
+                listener.on_frame_error(now)
+            if not sensed and self._own_tx[node] is None:
+                listener.on_medium_idle(now)
+
+        # The sender's own view: it was busy with its own transmission.
+        if sender in self._listeners and self.is_idle(sender):
+            self._listeners[sender].on_medium_idle(now)

@@ -1,0 +1,165 @@
+"""Connectivity maps: who can decode whom, who senses whom.
+
+Two implementations are provided. ``GeometricConnectivity`` derives both
+relations from node positions and a :class:`~repro.phy.propagation.RangeModel`
+(the ns-2 style configuration). ``ExplicitConnectivity`` takes the two
+directed edge sets verbatim, which is how the 9-node testbed map (Figure 3)
+is encoded, including its asymmetric sensing relations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, Iterable, Mapping, Set, Tuple
+
+from repro.phy.propagation import Position, RangeModel, distance
+
+NodeId = Hashable
+
+
+#: Relative power assigned to sense-only edges by ExplicitConnectivity:
+#: strong enough to be carrier-sensed, ~13 dB below a reception-grade
+#: signal, hence captured through by any decodable frame.
+SENSE_ONLY_POWER = 0.05
+
+
+class ConnectivityMap:
+    """Interface: reception and carrier-sense relations between nodes."""
+
+    def nodes(self) -> FrozenSet[NodeId]:
+        """All node ids this map covers."""
+        raise NotImplementedError
+
+    def rx_power(self, receiver: NodeId, sender: NodeId) -> float:
+        """Relative received signal power (linear scale, 0.0 = inaudible).
+
+        Only ratios matter: the channel compares the wanted signal
+        against concurrent interferers to decide physical capture.
+        """
+        raise NotImplementedError
+
+    def can_receive(self, receiver: NodeId, sender: NodeId) -> bool:
+        """True when ``receiver`` decodes ``sender``'s frames (no collision)."""
+        raise NotImplementedError
+
+    def can_sense(self, node: NodeId, sender: NodeId) -> bool:
+        """True when ``sender`` transmitting makes the medium busy at ``node``."""
+        raise NotImplementedError
+
+    def receivers_of(self, sender: NodeId) -> FrozenSet[NodeId]:
+        """Nodes that decode ``sender``'s frames (collision-free case)."""
+        raise NotImplementedError
+
+    def sensors_of(self, sender: NodeId) -> FrozenSet[NodeId]:
+        """Nodes whose medium goes busy when ``sender`` transmits."""
+        raise NotImplementedError
+
+
+class GeometricConnectivity(ConnectivityMap):
+    """Connectivity from positions and deterministic radii."""
+
+    def __init__(self, positions: Mapping[NodeId, Position], ranges: RangeModel):
+        self.positions: Dict[NodeId, Position] = dict(positions)
+        self.ranges = ranges
+        self._rx: Dict[NodeId, FrozenSet[NodeId]] = {}
+        self._sense: Dict[NodeId, FrozenSet[NodeId]] = {}
+        self._build()
+
+    def _build(self) -> None:
+        ids = list(self.positions)
+        for a in ids:
+            rx: Set[NodeId] = set()
+            sense: Set[NodeId] = set()
+            for b in ids:
+                if a == b:
+                    continue
+                d = distance(self.positions[a], self.positions[b])
+                if self.ranges.can_receive(d):
+                    rx.add(b)
+                if self.ranges.can_sense(d):
+                    sense.add(b)
+            self._rx[a] = frozenset(rx)
+            self._sense[a] = frozenset(sense)
+
+    def nodes(self) -> FrozenSet[NodeId]:
+        return frozenset(self.positions)
+
+    def rx_power(self, receiver: NodeId, sender: NodeId) -> float:
+        """Two-ray far-field power: d^-4 (relative), 0 beyond sensing."""
+        if receiver == sender:
+            return 0.0
+        d = distance(self.positions[receiver], self.positions[sender])
+        if d <= 0 or not self.ranges.can_sense(d):
+            return 0.0
+        return (1.0 / d) ** 4
+
+    def can_receive(self, receiver: NodeId, sender: NodeId) -> bool:
+        return receiver in self._rx.get(sender, frozenset())
+
+    def can_sense(self, node: NodeId, sender: NodeId) -> bool:
+        return node in self._sense.get(sender, frozenset())
+
+    def receivers_of(self, sender: NodeId) -> FrozenSet[NodeId]:
+        return self._rx.get(sender, frozenset())
+
+    def sensors_of(self, sender: NodeId) -> FrozenSet[NodeId]:
+        return self._sense.get(sender, frozenset())
+
+
+class ExplicitConnectivity(ConnectivityMap):
+    """Connectivity from explicit directed edge lists.
+
+    ``rx_edges`` are (sender, receiver) pairs along which frames decode;
+    every rx edge is implicitly also a sense edge. ``sense_edges`` add
+    carrier-sense/interference-only pairs (sensed but not decodable).
+    """
+
+    def __init__(
+        self,
+        nodes: Iterable[NodeId],
+        rx_edges: Iterable[Tuple[NodeId, NodeId]],
+        sense_edges: Iterable[Tuple[NodeId, NodeId]] = (),
+        symmetric: bool = True,
+    ):
+        self._nodes = frozenset(nodes)
+        rx: Dict[NodeId, Set[NodeId]] = {n: set() for n in self._nodes}
+        sense: Dict[NodeId, Set[NodeId]] = {n: set() for n in self._nodes}
+
+        def add(table: Dict[NodeId, Set[NodeId]], a: NodeId, b: NodeId) -> None:
+            if a not in self._nodes or b not in self._nodes:
+                raise ValueError(f"edge ({a!r}, {b!r}) references unknown node")
+            if a == b:
+                raise ValueError("self-edges are not allowed")
+            table[a].add(b)
+            if symmetric:
+                table[b].add(a)
+
+        for a, b in rx_edges:
+            add(rx, a, b)
+            add(sense, a, b)
+        for a, b in sense_edges:
+            add(sense, a, b)
+        self._rx = {n: frozenset(v) for n, v in rx.items()}
+        self._sense = {n: frozenset(v) for n, v in sense.items()}
+
+    def nodes(self) -> FrozenSet[NodeId]:
+        return self._nodes
+
+    def rx_power(self, receiver: NodeId, sender: NodeId) -> float:
+        """Reception-grade edges at 0 dB, sense-only edges ~13 dB down."""
+        if receiver in self._rx[sender]:
+            return 1.0
+        if receiver in self._sense[sender]:
+            return SENSE_ONLY_POWER
+        return 0.0
+
+    def can_receive(self, receiver: NodeId, sender: NodeId) -> bool:
+        return receiver in self._rx[sender]
+
+    def can_sense(self, node: NodeId, sender: NodeId) -> bool:
+        return node in self._sense[sender]
+
+    def receivers_of(self, sender: NodeId) -> FrozenSet[NodeId]:
+        return self._rx[sender]
+
+    def sensors_of(self, sender: NodeId) -> FrozenSet[NodeId]:
+        return self._sense[sender]

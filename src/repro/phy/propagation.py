@@ -1,0 +1,131 @@
+"""Propagation models.
+
+The simulator uses a *protocol model*: deterministic transmit and sensing
+radii. This is exactly what ns-2's default configuration produces — a
+two-ray ground path loss with fixed transmit power and fixed reception /
+carrier-sense energy thresholds reduces to two deterministic radii
+(250 m transmit, 550 m sensing in the paper's setup). ``TwoRayGround``
+exposes the underlying physics for completeness and for deriving radii
+from power/threshold settings.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+Position = Tuple[float, float]
+
+
+def distance(a: Position, b: Position) -> float:
+    """Euclidean distance in metres."""
+    return math.hypot(a[0] - b[0], a[1] - b[1])
+
+
+@dataclass(frozen=True)
+class TwoRayGround:
+    """Two-ray ground reflection path loss.
+
+    For distances beyond the crossover, received power follows
+    ``Pr = Pt * Gt * Gr * ht^2 * hr^2 / d^4``; below the crossover the
+    Friis free-space model applies. Defaults match ns-2's 914 MHz
+    WaveLAN-style parameters.
+    """
+
+    tx_power_w: float = 0.2818
+    gain_tx: float = 1.0
+    gain_rx: float = 1.0
+    height_tx_m: float = 1.5
+    height_rx_m: float = 1.5
+    wavelength_m: float = 0.328227
+
+    def crossover_distance(self) -> float:
+        """Distance where two-ray ground takes over from Friis."""
+        return (
+            4.0
+            * math.pi
+            * self.height_tx_m
+            * self.height_rx_m
+            / self.wavelength_m
+        )
+
+    def received_power(self, d: float) -> float:
+        """Received power in watts at distance ``d`` metres."""
+        if d <= 0:
+            return self.tx_power_w
+        if d < self.crossover_distance():
+            return (
+                self.tx_power_w
+                * self.gain_tx
+                * self.gain_rx
+                * self.wavelength_m**2
+                / ((4.0 * math.pi * d) ** 2)
+            )
+        return (
+            self.tx_power_w
+            * self.gain_tx
+            * self.gain_rx
+            * self.height_tx_m**2
+            * self.height_rx_m**2
+            / d**4
+        )
+
+    def range_for_threshold(self, threshold_w: float) -> float:
+        """Largest distance at which received power >= ``threshold_w``."""
+        if threshold_w <= 0:
+            raise ValueError("threshold must be positive")
+        d4 = (
+            self.tx_power_w
+            * self.gain_tx
+            * self.gain_rx
+            * self.height_tx_m**2
+            * self.height_rx_m**2
+            / threshold_w
+        )
+        d = d4**0.25
+        if d < self.crossover_distance():
+            d = self.wavelength_m * math.sqrt(
+                self.tx_power_w * self.gain_tx * self.gain_rx / threshold_w
+            ) / (4.0 * math.pi)
+        return d
+
+
+@dataclass(frozen=True)
+class RangeModel:
+    """Deterministic transmit / carrier-sense radii (ns-2 protocol model).
+
+    ``tx_range_m``: frames decode inside this radius (absent collisions).
+    ``sense_range_m``: transmitters inside this radius are carrier-sensed
+    and corrupt concurrent receptions (interference radius).
+    """
+
+    tx_range_m: float = 250.0
+    sense_range_m: float = 550.0
+
+    def __post_init__(self):
+        if self.tx_range_m <= 0 or self.sense_range_m <= 0:
+            raise ValueError("ranges must be positive")
+        if self.sense_range_m < self.tx_range_m:
+            raise ValueError("sensing range must be >= transmit range")
+
+    def can_receive(self, d: float) -> bool:
+        """True when a frame decodes at distance ``d`` (no collision)."""
+        return d <= self.tx_range_m
+
+    def can_sense(self, d: float) -> bool:
+        """True when a transmitter at distance ``d`` is carrier-sensed."""
+        return d <= self.sense_range_m
+
+    @classmethod
+    def from_two_ray(
+        cls,
+        model: TwoRayGround,
+        rx_threshold_w: float,
+        cs_threshold_w: float,
+    ) -> "RangeModel":
+        """Derive radii from a physical model and energy thresholds."""
+        return cls(
+            tx_range_m=model.range_for_threshold(rx_threshold_w),
+            sense_range_m=model.range_for_threshold(cs_threshold_w),
+        )

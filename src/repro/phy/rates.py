@@ -1,0 +1,76 @@
+"""PHY rates and frame air-time computation for IEEE 802.11b DSSS.
+
+The testbed and the ns-2 simulations both run at the fixed 1 Mb/s DSSS
+rate with long preambles; air time of a frame is the PLCP preamble +
+header time plus payload bits at the data rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PhyRates:
+    """Timing parameters of one 802.11 PHY mode."""
+
+    name: str
+    data_rate_bps: int
+    basic_rate_bps: int
+    slot_time_us: int
+    sifs_us: int
+    plcp_preamble_us: int
+    plcp_header_us: int
+    cca_time_us: int = 15
+
+    @property
+    def difs_us(self) -> int:
+        """DIFS = SIFS + 2 * slot."""
+        return self.sifs_us + 2 * self.slot_time_us
+
+    @property
+    def eifs_us(self) -> int:
+        """EIFS used after an undecodable frame: SIFS + ACK-at-basic + DIFS."""
+        return self.sifs_us + self.ack_tx_time_us() + self.difs_us
+
+    def plcp_overhead_us(self) -> int:
+        """PLCP preamble + header air time prepended to every frame."""
+        return self.plcp_preamble_us + self.plcp_header_us
+
+    def frame_tx_time_us(self, payload_bytes: int, rate_bps: int = 0) -> int:
+        """Air time of a frame with ``payload_bytes`` of MAC payload.
+
+        ``rate_bps`` defaults to the data rate. The result is PLCP
+        overhead plus payload bits at the rate, rounded up to a whole
+        microsecond.
+        """
+        rate = rate_bps or self.data_rate_bps
+        bits = payload_bytes * 8
+        return self.plcp_overhead_us() + -(-bits * 1_000_000 // rate)
+
+    def ack_tx_time_us(self) -> int:
+        """Air time of a 14-byte ACK frame at the basic rate."""
+        return self.frame_tx_time_us(14, self.basic_rate_bps)
+
+
+#: 802.11b DSSS at 1 Mb/s with long preamble (the paper's configuration).
+DSSS_1MBPS = PhyRates(
+    name="802.11b-1Mbps",
+    data_rate_bps=1_000_000,
+    basic_rate_bps=1_000_000,
+    slot_time_us=20,
+    sifs_us=10,
+    plcp_preamble_us=144,
+    plcp_header_us=48,
+)
+
+#: 802.11b DSSS at 11 Mb/s (for rate-sweep ablations).
+DSSS_11MBPS = PhyRates(
+    name="802.11b-11Mbps",
+    data_rate_bps=11_000_000,
+    basic_rate_bps=1_000_000,
+    slot_time_us=20,
+    sifs_us=10,
+    plcp_preamble_us=144,
+    plcp_header_us=48,
+)

@@ -1,0 +1,131 @@
+"""Event-driven simulation core.
+
+``Engine`` owns the clock and a heap of pending events. Events are plain
+callbacks with optional arguments; each carries a sequence number so that
+events scheduled for the same tick fire in scheduling order (deterministic
+replay). Events may be cancelled, which is how the MAC implements backoff
+suspension and timer resets.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional
+
+
+class SimTimeError(RuntimeError):
+    """Raised when an event is scheduled in the past."""
+
+
+class Event:
+    """A scheduled callback.
+
+    Instances are returned by :meth:`Engine.schedule` and can be cancelled.
+    A cancelled event stays in the heap but is skipped when popped.
+    """
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: int, seq: int, fn: Callable[..., None], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from firing. Idempotent."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<Event t={self.time} seq={self.seq} {state} fn={self.fn!r}>"
+
+
+class Engine:
+    """Discrete-event engine with an integer microsecond clock."""
+
+    def __init__(self):
+        self._now = 0
+        self._seq = 0
+        self._heap: List[Event] = []
+        self._running = False
+        self._processed = 0
+
+    @property
+    def now(self) -> int:
+        """Current simulation time in microsecond ticks."""
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        """Number of events executed so far (cancelled events excluded)."""
+        return self._processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events in the heap (including cancelled ones)."""
+        return len(self._heap)
+
+    def schedule(self, delay: int, fn: Callable[..., None], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` to run ``delay`` ticks from now.
+
+        ``delay`` must be non-negative. Returns the :class:`Event`, which
+        can be cancelled up until it fires.
+        """
+        if delay < 0:
+            raise SimTimeError(f"cannot schedule {delay} ticks in the past")
+        event = Event(self._now + int(delay), self._seq, fn, args)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_at(self, time: int, fn: Callable[..., None], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` at absolute tick ``time`` (>= now)."""
+        return self.schedule(int(time) - self._now, fn, *args)
+
+    def run(self, until: Optional[int] = None) -> int:
+        """Run events in order until the heap drains or ``until`` is passed.
+
+        Events scheduled exactly at ``until`` are executed. Returns the
+        clock value at exit.
+        """
+        self._running = True
+        try:
+            while self._heap:
+                event = self._heap[0]
+                if until is not None and event.time > until:
+                    break
+                heapq.heappop(self._heap)
+                if event.cancelled:
+                    continue
+                if event.time < self._now:  # pragma: no cover - heap invariant
+                    raise SimTimeError("event heap yielded a past event")
+                self._now = event.time
+                self._processed += 1
+                event.fn(*event.args)
+        finally:
+            self._running = False
+        if until is not None and self._now < until:
+            self._now = until
+        return self._now
+
+    def step(self) -> bool:
+        """Execute exactly one pending (non-cancelled) event.
+
+        Returns ``True`` if an event ran, ``False`` if the heap is empty.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._processed += 1
+            event.fn(*event.args)
+            return True
+        return False

@@ -1,0 +1,29 @@
+"""Time units.
+
+The simulator clock counts integer microseconds. Integers keep event
+ordering exact (no floating-point ties) and are large enough for multi-hour
+simulated horizons.
+"""
+
+US_PER_S = 1_000_000
+US_PER_MS = 1_000
+
+
+def seconds(value: float) -> int:
+    """Convert seconds to integer microsecond ticks."""
+    return int(round(value * US_PER_S))
+
+
+def milliseconds(value: float) -> int:
+    """Convert milliseconds to integer microsecond ticks."""
+    return int(round(value * US_PER_MS))
+
+
+def microseconds(value: float) -> int:
+    """Convert (possibly fractional) microseconds to integer ticks."""
+    return int(round(value))
+
+
+def to_seconds(ticks: int) -> float:
+    """Convert microsecond ticks back to float seconds."""
+    return ticks / US_PER_S

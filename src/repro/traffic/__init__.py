@@ -1,0 +1,6 @@
+"""Traffic generation: CBR (the paper's workload), Poisson, on/off bursts."""
+
+from repro.traffic.onoff import OnOffSource
+from repro.traffic.sources import CbrSource, PoissonSource, SaturatedSource
+
+__all__ = ["CbrSource", "PoissonSource", "SaturatedSource", "OnOffSource"]

@@ -1,0 +1,147 @@
+"""Traffic sources.
+
+The paper drives every flow with CBR at 2 Mb/s — i.e. well above channel
+capacity, so the source queue is permanently backlogged ("saturated
+mode"). ``CbrSource`` reproduces that; ``PoissonSource`` supports the
+load-sweep ablations; ``SaturatedSource`` keeps the source MAC queue
+topped up without modelling inter-arrival times at all (the greedy
+access point of Figure 1).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional
+
+from repro.net.flow import Flow
+from repro.net.node import NodeStack
+from repro.net.packet import DEFAULT_PACKET_BYTES, Packet
+from repro.sim.engine import Engine
+from repro.sim.rng import RngRegistry
+from repro.sim.units import US_PER_S
+
+
+class _SourceBase:
+    """Common flow bookkeeping for all sources."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        node: NodeStack,
+        flow: Flow,
+        packet_bytes: int = DEFAULT_PACKET_BYTES,
+    ):
+        if flow.src != node.node_id:
+            raise ValueError("flow source must be the attached node")
+        self.engine = engine
+        self.node = node
+        self.flow = flow
+        self.packet_bytes = packet_bytes
+        self._seq = 0
+        self._started = False
+
+    def start(self) -> None:
+        if self._started:
+            raise RuntimeError("source already started")
+        self._started = True
+        delay = max(0, self.flow.start_us - self.engine.now)
+        self.engine.schedule(delay, self._tick)
+
+    def _make_packet(self) -> Packet:
+        self._seq += 1
+        self.flow.note_generated()
+        return Packet(
+            flow_id=self.flow.flow_id,
+            seq=self._seq,
+            src=self.flow.src,
+            dst=self.flow.dst,
+            size_bytes=self.packet_bytes,
+            created_at=self.engine.now,
+        )
+
+    def _tick(self) -> None:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+class CbrSource(_SourceBase):
+    """Constant bit rate source (paper default: 2 Mb/s, saturating)."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        node: NodeStack,
+        flow: Flow,
+        rate_bps: float = 2_000_000.0,
+        packet_bytes: int = DEFAULT_PACKET_BYTES,
+    ):
+        super().__init__(engine, node, flow, packet_bytes)
+        if rate_bps <= 0:
+            raise ValueError("rate must be positive")
+        self.rate_bps = rate_bps
+        self.interval_us = max(1, int(round(packet_bytes * 8 * US_PER_S / rate_bps)))
+
+    def _tick(self) -> None:
+        now = self.engine.now
+        if self.flow.stop_us is not None and now >= self.flow.stop_us:
+            return
+        if self.flow.active_at(now):
+            self.node.send(self._make_packet())
+        self.engine.schedule(self.interval_us, self._tick)
+
+
+class PoissonSource(_SourceBase):
+    """Poisson packet arrivals at a mean rate (load-sweep ablations)."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        node: NodeStack,
+        flow: Flow,
+        rate_bps: float,
+        rng: RngRegistry,
+        packet_bytes: int = DEFAULT_PACKET_BYTES,
+    ):
+        super().__init__(engine, node, flow, packet_bytes)
+        if rate_bps <= 0:
+            raise ValueError("rate must be positive")
+        self.mean_interval_us = packet_bytes * 8 * US_PER_S / rate_bps
+        self.rng = rng.stream(f"traffic.poisson.{flow.flow_id}")
+
+    def _tick(self) -> None:
+        now = self.engine.now
+        if self.flow.stop_us is not None and now >= self.flow.stop_us:
+            return
+        if self.flow.active_at(now):
+            self.node.send(self._make_packet())
+        delay = max(1, int(self.rng.expovariate(1.0 / self.mean_interval_us)))
+        self.engine.schedule(delay, self._tick)
+
+
+class SaturatedSource(_SourceBase):
+    """Keeps the source queue full — the greedy access point of Figure 1.
+
+    Refills the node's own-traffic queue to capacity on a fixed polling
+    cadence; the MAC therefore never idles for lack of local traffic.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        node: NodeStack,
+        flow: Flow,
+        packet_bytes: int = DEFAULT_PACKET_BYTES,
+        poll_interval_us: int = 2_000,
+    ):
+        super().__init__(engine, node, flow, packet_bytes)
+        self.poll_interval_us = poll_interval_us
+
+    def _tick(self) -> None:
+        now = self.engine.now
+        if self.flow.stop_us is not None and now >= self.flow.stop_us:
+            return
+        if self.flow.active_at(now):
+            next_hop = self.node.routing.next_hop(self.node.node_id, self.flow.dst)
+            queue, entity = self.node.queue_for("own", next_hop)
+            while not queue.is_full():
+                queue.push(self._make_packet())
+            entity.notify_enqueue()
+        self.engine.schedule(self.poll_interval_us, self._tick)

@@ -1,0 +1,12 @@
+"""Reliable, window-based transport over the mesh (TCP stand-in).
+
+Section 2.3 claims EZ-flow handles "bi-directional traffic (e.g. TCP)
+or uni-directional traffic" alike, because it acts at the MAC layer.
+This package provides the bidirectional workload: a cumulative-ACK
+sliding-window sender whose acknowledgement stream travels the reverse
+multi-hop path, contending for the same medium.
+"""
+
+from repro.transport.window import WindowedSender, TransportConfig, install_reverse_routes
+
+__all__ = ["WindowedSender", "TransportConfig", "install_reverse_routes"]

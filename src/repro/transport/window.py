@@ -1,0 +1,181 @@
+"""Sliding-window reliable transport with cumulative ACKs.
+
+A deliberately simple TCP stand-in (fixed window, go-back-N retransmit
+on timeout, cumulative ACKs): enough to create the paper's
+*bidirectional* regime, where a data stream and its acknowledgement
+stream contend for the same multi-hop wireless path in opposite
+directions — the workload the transport-layer related work (WCP, the
+counter-starvation policy) targets and EZ-flow claims to handle at the
+MAC layer without end-to-end feedback.
+
+The receiver side lives at the destination node: every in-order data
+packet advances the cumulative ACK, which is sent as a small packet
+routed back to the source.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional
+
+from repro.net.flow import Flow
+from repro.net.node import NodeStack
+from repro.net.packet import Packet
+from repro.net.routing import StaticRouting
+from repro.sim.engine import Engine, Event
+from repro.sim.units import seconds
+
+ACK_BYTES = 40
+
+
+@dataclass
+class TransportConfig:
+    """Window transport parameters."""
+
+    window: int = 8
+    data_bytes: int = 1000
+    retransmit_timeout_s: float = 2.0
+    ack_every: int = 1
+
+    def __post_init__(self):
+        if self.window < 1:
+            raise ValueError("window must be >= 1")
+        if self.ack_every < 1:
+            raise ValueError("ack_every must be >= 1")
+        if self.retransmit_timeout_s <= 0:
+            raise ValueError("timeout must be positive")
+
+
+def install_reverse_routes(routing: StaticRouting, path: List[Hashable]) -> None:
+    """Install the reverse of ``path`` so ACKs can travel back."""
+    routing.install_path(list(reversed(path)))
+
+
+class WindowedSender:
+    """Go-back-N sender + receiver pair bound to one flow.
+
+    The data flow's ``Flow`` object accounts delivered *data* packets;
+    the ACK stream is internal (its packets use flow id
+    ``"<flow>.ack"``) but is counted in ``acks_received``.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        source: NodeStack,
+        destination: NodeStack,
+        flow: Flow,
+        config: Optional[TransportConfig] = None,
+    ):
+        if flow.src != source.node_id or flow.dst != destination.node_id:
+            raise ValueError("flow endpoints must match the given nodes")
+        self.engine = engine
+        self.source = source
+        self.destination = destination
+        self.flow = flow
+        self.config = config or TransportConfig()
+        # Sender state.
+        self.next_seq = 1
+        self.base = 1  # lowest unacknowledged sequence number
+        self.acks_received = 0
+        self.retransmissions = 0
+        self._timer: Optional[Event] = None
+        # Receiver state.
+        self._expected = 1
+        self._since_last_ack = 0
+        destination.delivered_callbacks.append(self._on_data_delivered)
+        source.delivered_callbacks.append(self._on_ack_delivered)
+        self._ack_flow = Flow(f"{flow.flow_id}.ack", src=destination.node_id, dst=source.node_id)
+        source.register_flow(self._ack_flow)
+
+    # -- sender ------------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin sending at the flow's start time."""
+        self.engine.schedule(max(0, self.flow.start_us - self.engine.now), self._fill)
+
+    def _fill(self) -> None:
+        """Send as much as the window allows."""
+        while self.next_seq < self.base + self.config.window:
+            if self.flow.stop_us is not None and self.engine.now >= self.flow.stop_us:
+                return
+            self.flow.note_generated()
+            packet = Packet(
+                flow_id=self.flow.flow_id,
+                seq=self.next_seq,
+                src=self.source.node_id,
+                dst=self.destination.node_id,
+                size_bytes=self.config.data_bytes,
+                created_at=self.engine.now,
+            )
+            self.source.send(packet)
+            self.next_seq += 1
+        self._arm_timer()
+
+    def _arm_timer(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+        self._timer = self.engine.schedule(
+            seconds(self.config.retransmit_timeout_s), self._timeout
+        )
+
+    def _timeout(self) -> None:
+        """Go-back-N: resend the whole window from ``base``."""
+        self._timer = None
+        if self.base >= self.next_seq:
+            return  # everything acknowledged
+        if self.flow.stop_us is not None and self.engine.now >= self.flow.stop_us:
+            return
+        for seq in range(self.base, self.next_seq):
+            self.retransmissions += 1
+            packet = Packet(
+                flow_id=self.flow.flow_id,
+                seq=seq,
+                src=self.source.node_id,
+                dst=self.destination.node_id,
+                size_bytes=self.config.data_bytes,
+                created_at=self.engine.now,
+            )
+            self.source.send(packet)
+        self._arm_timer()
+
+    def _on_ack_delivered(self, packet: Packet, now: int) -> None:
+        if packet.flow_id != self._ack_flow.flow_id:
+            return
+        self.acks_received += 1
+        cumulative = packet.seq
+        if cumulative >= self.base:
+            self.base = cumulative + 1
+            self._fill()
+
+    # -- receiver ---------------------------------------------------------
+
+    def _on_data_delivered(self, packet: Packet, now: int) -> None:
+        if packet.flow_id != self.flow.flow_id:
+            return
+        if packet.seq == self._expected:
+            self._expected += 1
+            self._since_last_ack += 1
+            if self._since_last_ack >= self.config.ack_every:
+                self._send_ack()
+        elif packet.seq < self._expected:
+            # Duplicate (go-back-N retransmission): re-ACK cumulatively.
+            self._send_ack()
+
+    def _send_ack(self) -> None:
+        self._since_last_ack = 0
+        ack = Packet(
+            flow_id=self._ack_flow.flow_id,
+            seq=self._expected - 1,
+            src=self.destination.node_id,
+            dst=self.source.node_id,
+            size_bytes=ACK_BYTES,
+            created_at=self.engine.now,
+        )
+        self.destination.send(ack)
+
+    # -- metrics -------------------------------------------------------------
+
+    @property
+    def delivered_in_order(self) -> int:
+        return self._expected - 1

@@ -1,0 +1,137 @@
+"""Tests for the slot winner process against Table 4's closed forms."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.activation import (
+    activation_distribution,
+    sample_activation,
+    successful_links,
+)
+from repro.analysis.regions import REGIONS_4HOP, region_of, table4_distribution
+
+INF = float("inf")
+
+CW_CASES = [
+    (16, 16, 16, 16),
+    (128, 16, 16, 16),
+    (2048, 32, 16, 64),
+    (16, 32768, 16, 32),
+    (1024, 1024, 16, 16),
+]
+
+
+def buffers_for_region(region):
+    signature = REGIONS_4HOP[region]
+    return [INF] + [10.0 if s else 0.0 for s in signature]
+
+
+class TestTable4Agreement:
+    @pytest.mark.parametrize("region", sorted(REGIONS_4HOP))
+    @pytest.mark.parametrize("cw", CW_CASES)
+    def test_closed_form_matches_winner_process(self, region, cw):
+        process = activation_distribution(buffers_for_region(region), cw, 4)
+        closed = table4_distribution(region, cw)
+        assert set(process) == {k for k, v in closed.items() if v > 0}
+        for pattern, probability in closed.items():
+            assert process.get(pattern, 0.0) == pytest.approx(probability)
+
+    @pytest.mark.parametrize("region", sorted(REGIONS_4HOP))
+    def test_distribution_normalized(self, region):
+        for cw in CW_CASES:
+            total = sum(table4_distribution(region, cw).values())
+            assert total == pytest.approx(1.0)
+
+    def test_region_a_source_always_wins(self):
+        assert table4_distribution("A", (16,) * 4) == {(1, 0, 0, 0): 1.0}
+
+    def test_region_d_parallel_links(self):
+        assert table4_distribution("D", (16,) * 4) == {(1, 0, 0, 1): 1.0}
+
+    def test_region_b_weights_inverse_to_cw(self):
+        dist = table4_distribution("B", (64, 16, 16, 16))
+        # Source with cw=64 wins only 16/(64+16) = 1/5 of slots.
+        assert dist[(1, 0, 0, 0)] == pytest.approx(0.2)
+
+
+class TestRegionOf:
+    def test_all_signatures(self):
+        assert region_of(0, 0, 0) == "A"
+        assert region_of(5, 0, 0) == "B"
+        assert region_of(0, 5, 0) == "C"
+        assert region_of(0, 0, 5) == "D"
+        assert region_of(5, 5, 0) == "E"
+        assert region_of(5, 0, 5) == "F"
+        assert region_of(0, 5, 5) == "G"
+        assert region_of(5, 5, 5) == "H"
+
+
+class TestSuccessfulLinks:
+    def test_lone_transmitter_succeeds(self):
+        assert successful_links({0}, 4) == (1, 0, 0, 0)
+
+    def test_two_hop_downstream_kills_link(self):
+        # node 2 transmitting corrupts link 0 at receiver node 1
+        assert successful_links({0, 2}, 4) == (0, 0, 1, 0)
+
+    def test_three_hop_separation_coexists(self):
+        assert successful_links({0, 3}, 4) == (1, 0, 0, 1)
+
+    def test_chain_of_transmitters(self):
+        # nodes 0, 2, 4 in a 6-hop chain: 0 and 2 killed by their i+2
+        assert successful_links({0, 2, 4}, 6) == (0, 0, 0, 0, 1, 0)
+
+
+class TestSampling:
+    def test_sampler_matches_exact_distribution(self):
+        rng = random.Random(11)
+        cw = (64, 16, 16, 16)
+        buffers = buffers_for_region("H")
+        exact = activation_distribution(buffers, cw, 4)
+        counts = {}
+        n = 20_000
+        for _ in range(n):
+            pattern = sample_activation(buffers, cw, 4, rng)
+            counts[pattern] = counts.get(pattern, 0) + 1
+        for pattern, probability in exact.items():
+            assert counts.get(pattern, 0) / n == pytest.approx(probability, abs=0.02)
+
+    def test_sampler_only_emits_supported_patterns(self):
+        rng = random.Random(5)
+        for region in REGIONS_4HOP:
+            buffers = buffers_for_region(region)
+            support = set(table4_distribution(region, (16,) * 4))
+            for _ in range(200):
+                assert sample_activation(buffers, (16,) * 4, 4, rng) in support
+
+
+class TestGeneralK:
+    @given(
+        st.integers(2, 7),
+        st.lists(st.sampled_from([16, 32, 256, 2048]), min_size=7, max_size=7),
+        st.lists(st.integers(0, 3), min_size=6, max_size=6),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_distribution_normalized_any_k(self, hops, cw, relay_buffers):
+        buffers = [INF] + [float(b) for b in relay_buffers[: hops - 1]]
+        dist = activation_distribution(buffers, cw[:hops], hops)
+        assert sum(dist.values()) == pytest.approx(1.0)
+
+    @given(
+        st.integers(2, 7),
+        st.lists(st.integers(0, 3), min_size=6, max_size=6),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_empty_relays_never_transmit(self, hops, relay_buffers):
+        buffers = [INF] + [float(b) for b in relay_buffers[: hops - 1]]
+        dist = activation_distribution(buffers, (16,) * hops, hops)
+        for pattern in dist:
+            for i in range(1, hops):
+                if buffers[i] == 0:
+                    assert pattern[i] == 0
+
+    def test_cw_must_cover_all_transmitters(self):
+        with pytest.raises(ValueError):
+            activation_distribution([INF, 0.0], (16,), 2)

@@ -1,0 +1,145 @@
+"""Tests for the Buffer Occupancy Estimator (Algorithm 1, BOE module)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.boe import BufferOccupancyEstimator
+
+
+class TestFifoEstimation:
+    def test_estimate_counts_packets_behind_overheard(self):
+        boe = BufferOccupancyEstimator("next")
+        for checksum in (10, 20, 30, 40):
+            boe.note_sent(checksum)
+        # Successor forwards the first packet: 3 remain queued behind it.
+        assert boe.note_overheard(10) == 3
+
+    def test_estimate_zero_when_last_sent_forwarded(self):
+        boe = BufferOccupancyEstimator("next")
+        boe.note_sent(1)
+        boe.note_sent(2)
+        assert boe.note_overheard(2) == 0
+
+    def test_sequence_of_overhearings_tracks_fifo(self):
+        boe = BufferOccupancyEstimator("next")
+        for checksum in range(1, 6):
+            boe.note_sent(checksum)
+        assert boe.note_overheard(1) == 4
+        assert boe.note_overheard(2) == 3
+        boe.note_sent(6)
+        assert boe.note_overheard(3) == 3  # 4, 5, 6 still queued
+
+    def test_unmatched_checksum_returns_none(self):
+        boe = BufferOccupancyEstimator("next")
+        boe.note_sent(1)
+        assert boe.note_overheard(999) is None
+        assert boe.overheard_unmatched == 1
+
+    def test_forwarded_entries_pruned(self):
+        boe = BufferOccupancyEstimator("next")
+        for checksum in (1, 2, 3):
+            boe.note_sent(checksum)
+        boe.note_overheard(2)
+        # 1 and 2 are gone; overhearing 1 again (e.g. stale dup) unmatched
+        assert boe.note_overheard(1) is None
+        assert boe.pending == 1
+
+    def test_exact_simulation_of_successor_queue(self):
+        """Drive a virtual FIFO successor; BOE must recover its size."""
+        boe = BufferOccupancyEstimator("next")
+        successor_queue = []
+        next_checksum = 0
+        import random
+
+        rng = random.Random(3)
+        for _ in range(500):
+            if rng.random() < 0.55:
+                next_checksum += 1
+                boe.note_sent(next_checksum)
+                successor_queue.append(next_checksum)
+            elif successor_queue:
+                forwarded = successor_queue.pop(0)
+                estimate = boe.note_overheard(forwarded)
+                assert estimate == len(successor_queue)
+
+
+class TestHistoryLimits:
+    def test_history_overwrites_oldest(self):
+        boe = BufferOccupancyEstimator("next", history_size=3)
+        for checksum in (1, 2, 3, 4):
+            boe.note_sent(checksum)
+        assert boe.pending == 3
+        assert boe.note_overheard(1) is None  # evicted
+        assert boe.note_overheard(2) == 2
+
+    def test_minimum_history_size(self):
+        with pytest.raises(ValueError):
+            BufferOccupancyEstimator("next", history_size=1)
+
+    def test_paper_default_history_1000(self):
+        boe = BufferOccupancyEstimator("next")
+        assert boe.history_size == 1000
+
+
+class TestChecksumCollisions:
+    def test_collision_matches_most_recent(self):
+        boe = BufferOccupancyEstimator("next")
+        boe.note_sent(7)
+        boe.note_sent(8)
+        boe.note_sent(7)  # 16-bit collision with the first packet
+        boe.note_sent(9)
+        # Successor forwards the *first* 7; reverse search matches the
+        # most recent 7, biasing low (1 instead of 3) — bounded error.
+        assert boe.note_overheard(7) == 1
+
+    def test_checksums_masked_to_16_bits(self):
+        boe = BufferOccupancyEstimator("next")
+        boe.note_sent(0x1FFFF)  # masked to 0xFFFF
+        assert boe.note_overheard(0xFFFF) == 0
+
+
+class TestCallbacks:
+    def test_sample_callbacks_invoked(self):
+        boe = BufferOccupancyEstimator("next")
+        samples = []
+        boe.sample_callbacks.append(samples.append)
+        boe.note_sent(1)
+        boe.note_sent(2)
+        boe.note_overheard(1)
+        assert samples == [1]
+
+    def test_samples_produced_counter(self):
+        boe = BufferOccupancyEstimator("next")
+        boe.note_sent(1)
+        boe.note_overheard(1)
+        boe.note_overheard(12345)
+        assert boe.samples_produced == 1
+
+
+class TestProperties:
+    @given(st.lists(st.integers(0, 0xFFFF), min_size=1, max_size=100, unique=True))
+    def test_property_estimate_equals_position_gap(self, checksums):
+        boe = BufferOccupancyEstimator("next")
+        for checksum in checksums:
+            boe.note_sent(checksum)
+        estimate = boe.note_overheard(checksums[0])
+        assert estimate == len(checksums) - 1
+
+    @given(
+        st.lists(st.integers(0, 0xFFFF), min_size=2, max_size=60, unique=True),
+        st.data(),
+    )
+    def test_property_estimates_never_negative(self, checksums, data):
+        boe = BufferOccupancyEstimator("next", history_size=30)
+        for checksum in checksums:
+            boe.note_sent(checksum)
+        target = data.draw(st.sampled_from(checksums))
+        estimate = boe.note_overheard(target)
+        assert estimate is None or estimate >= 0
+
+    @given(st.lists(st.integers(0, 0xFFFF), max_size=120))
+    def test_property_pending_bounded_by_history(self, checksums):
+        boe = BufferOccupancyEstimator("next", history_size=50)
+        for checksum in checksums:
+            boe.note_sent(checksum)
+        assert boe.pending <= 50

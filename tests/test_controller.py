@@ -1,0 +1,137 @@
+"""Tests for the EZ-flow controller wiring (BOE + CAA on a node stack)."""
+
+import pytest
+
+from repro.core import EZFlowConfig, EZFlowController, attach_ezflow
+from repro.sim.units import seconds
+from repro.topology.linear import linear_chain
+
+
+class TestWiring:
+    def test_machinery_created_per_successor(self):
+        network = linear_chain(hops=3, seed=1)
+        controller = EZFlowController(network.nodes[0])
+        network.run(until_us=seconds(5))
+        assert set(controller.boes) == {1}
+        assert set(controller.caas) == {1}
+
+    def test_relay_tracks_its_successor(self):
+        network = linear_chain(hops=3, seed=1)
+        controller = EZFlowController(network.nodes[1])
+        network.run(until_us=seconds(5))
+        assert set(controller.boes) == {2}
+
+    def test_destination_has_no_machinery(self):
+        network = linear_chain(hops=3, seed=1)
+        controller = EZFlowController(network.nodes[3])
+        network.run(until_us=seconds(5))
+        assert controller.boes == {}
+
+    def test_last_relay_produces_no_samples(self):
+        """Packets delivered to the destination are not 'forwarded', so
+        the last relay's BOE for the destination must stay empty."""
+        network = linear_chain(hops=3, seed=1)
+        controller = EZFlowController(network.nodes[2])
+        network.run(until_us=seconds(5))
+        boe = controller.boes.get(3)
+        assert boe is None or boe.pending == 0
+
+    def test_attach_ezflow_covers_all_nodes(self):
+        network = linear_chain(hops=4, seed=1)
+        controllers = attach_ezflow(network.nodes)
+        assert set(controllers) == set(network.nodes)
+
+    def test_attach_ezflow_exclude(self):
+        network = linear_chain(hops=4, seed=1)
+        controllers = attach_ezflow(network.nodes, exclude=[0])
+        assert 0 not in controllers
+        assert 1 in controllers
+
+    def test_current_cw_accessor(self):
+        network = linear_chain(hops=3, seed=1)
+        controller = EZFlowController(network.nodes[0])
+        network.run(until_us=seconds(5))
+        assert controller.current_cw(1) in {16, 32, 64, 128}
+        assert controller.current_cw(99) is None
+
+
+class TestEstimation:
+    def test_estimates_reflect_actual_buffer(self):
+        """BOE samples must equal the successor's true forwarding queue
+        size at forwarding instants (modulo in-flight MAC handoff).
+
+        Uses a below-capacity CBR flow: without relay drops the passive
+        estimate is exact. (Under saturation, packets the relay *drops*
+        stay in the send history and inflate the estimate — a
+        conservative bias that only strengthens the congestion signal.)
+        """
+        network = linear_chain(hops=3, seed=2, saturated=False, rate_bps=150_000.0)
+        controller = EZFlowController(network.nodes[0])
+        errors = []
+
+        def check(estimate):
+            actual = network.nodes[1].forwarding_occupancy()
+            errors.append(abs(estimate - actual))
+
+        network.run(until_us=seconds(1))  # create machinery lazily
+        assert 1 in controller.boes
+        controller.boes[1].sample_callbacks.append(check)
+        network.run(until_us=seconds(20))
+        assert errors, "no BOE samples produced"
+        # Estimates may differ transiently by the packet being ACKed.
+        assert sum(errors) / len(errors) <= 2.0
+
+    def test_cw_adapts_under_congestion(self):
+        network = linear_chain(hops=4, seed=1)
+        controllers = attach_ezflow(network.nodes)
+        network.run(until_us=seconds(120))
+        # The 4-hop chain congests its first relay; the source must
+        # have raised its window above the minimum.
+        assert controllers[0].current_cw(1) > 16
+
+    def test_adaptation_applies_to_mac_entity(self):
+        network = linear_chain(hops=4, seed=1)
+        controllers = attach_ezflow(network.nodes)
+        network.run(until_us=seconds(120))
+        entity = network.nodes[0].mac.entities[0]
+        assert entity.cwmin == controllers[0].current_cw(1)
+
+    def test_no_message_passing(self):
+        """EZ-flow must add zero transmissions: frame counts with and
+        without controllers are identical for the same seed."""
+        plain = linear_chain(hops=3, seed=7)
+        plain.run(until_us=seconds(10))
+        baseline_tx = plain.trace.counter("mac.data_tx")
+
+        controlled = linear_chain(hops=3, seed=7)
+        # Attach estimators but force CAA to never change cw, isolating
+        # the passive machinery: traffic must be byte-identical.
+        config = EZFlowConfig(b_min=0.0, b_max=10**9)
+        attach_ezflow(controlled.nodes, config)
+        controlled.run(until_us=seconds(10))
+        assert controlled.trace.counter("mac.data_tx") == baseline_tx
+
+
+class TestStabilization:
+    def test_ezflow_stabilizes_4hop_chain(self):
+        std = linear_chain(hops=4, seed=3)
+        std.run(until_us=seconds(120))
+        std_buffer = std.nodes[1].total_buffer_occupancy()
+
+        ez = linear_chain(hops=4, seed=3)
+        attach_ezflow(ez.nodes)
+        ez.run(until_us=seconds(120))
+        ez_buffer = ez.nodes[1].total_buffer_occupancy()
+        assert std_buffer >= 40  # saturated without EZ-flow
+        assert ez_buffer <= 25   # stabilized with EZ-flow
+
+    def test_ezflow_improves_throughput(self):
+        std = linear_chain(hops=4, seed=3)
+        std.run(until_us=seconds(120))
+        std_thr = std.flow("F1").throughput_bps(seconds(30), seconds(120))
+
+        ez = linear_chain(hops=4, seed=3)
+        attach_ezflow(ez.nodes)
+        ez.run(until_us=seconds(120))
+        ez_thr = ez.flow("F1").throughput_bps(seconds(30), seconds(120))
+        assert ez_thr > std_thr

@@ -1,0 +1,112 @@
+"""Tests for the 802.11e EDCA access-category support."""
+
+import pytest
+
+from repro.mac.dcf import Dcf, DcfConfig
+from repro.mac.edca import (
+    AC_BE,
+    AC_BK,
+    AC_VI,
+    AC_VO,
+    ACCESS_CATEGORIES,
+    AccessCategory,
+    assign_categories,
+    configure_entity,
+)
+from repro.mac.queues import FifoQueue
+from repro.net.packet import Packet
+from repro.phy.channel import Channel
+from repro.phy.connectivity import GeometricConnectivity
+from repro.phy.propagation import RangeModel
+from repro.sim.engine import Engine
+from repro.sim.rng import RngRegistry
+from repro.sim.units import seconds
+
+
+def star(seed=0):
+    """Node 0 (center) plus two neighbours within reception range."""
+    engine = Engine()
+    positions = {0: (0.0, 0.0), 1: (200.0, 0.0), 2: (0.0, 200.0)}
+    conn = GeometricConnectivity(positions, RangeModel())
+    channel = Channel(engine, conn, RngRegistry(seed))
+    macs = {
+        node: Dcf(engine, channel, node, DcfConfig(), RngRegistry(seed + 1))
+        for node in positions
+    }
+    return engine, channel, macs
+
+
+class TestAccessCategory:
+    def test_standard_sets(self):
+        assert AC_VO.aifsn == 2 and AC_VO.cwmin == 8
+        assert AC_BK.aifsn == 7
+        assert set(ACCESS_CATEGORIES) == {"VO", "VI", "BE", "BK"}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AccessCategory("X", aifsn=0, cwmin=16, cwmax=32)
+        with pytest.raises(ValueError):
+            AccessCategory("X", aifsn=2, cwmin=20, cwmax=32)
+        with pytest.raises(ValueError):
+            AccessCategory("X", aifsn=2, cwmin=64, cwmax=32)
+
+
+class TestConfiguration:
+    def test_configure_entity(self):
+        engine, channel, macs = star()
+        entity = macs[0].add_entity("q", FifoQueue(), successor=1)
+        configure_entity(entity, AC_BK)
+        assert entity.aifsn == 7
+        assert entity.cwmin == 32
+
+    def test_assign_categories_in_priority_order(self):
+        engine, channel, macs = star()
+        entities = [
+            macs[0].add_entity(f"q{i}", FifoQueue(), successor=1) for i in range(3)
+        ]
+        mapping = assign_categories(entities)
+        assert mapping["VO"] is entities[0]
+        assert mapping["BE"] is entities[2]
+
+    def test_too_many_queues_rejected(self):
+        engine, channel, macs = star()
+        entities = [
+            macs[0].add_entity(f"q{i}", FifoQueue(), successor=1) for i in range(5)
+        ]
+        with pytest.raises(ValueError):
+            assign_categories(entities)
+
+    def test_ezflow_can_still_override_cwmin(self):
+        engine, channel, macs = star()
+        entity = macs[0].add_entity("q", FifoQueue(), successor=1)
+        configure_entity(entity, AC_BE)
+        entity.set_cwmin(1024)  # what the CAA would do
+        assert entity.aifsn == AC_BE.aifsn  # priority preserved
+        assert entity.effective_cwmin() == 1024
+
+
+class TestAifsPriority:
+    def test_default_aifsn_reproduces_difs(self):
+        engine, channel, macs = star()
+        assert macs[0].current_ifs_us(2) == macs[0].config.rates.difs_us
+
+    def test_larger_aifsn_defers_longer(self):
+        engine, channel, macs = star()
+        assert macs[0].current_ifs_us(7) > macs[0].current_ifs_us(2)
+
+    def test_high_priority_category_wins_airtime(self):
+        """Saturated VO and BK queues at the same node: the VO queue
+        must clearly dominate the share (smaller AIFS and CWmin)."""
+        engine, channel, macs = star(seed=5)
+        q_vo, q_bk = FifoQueue(capacity=1000), FifoQueue(capacity=1000)
+        e_vo = macs[0].add_entity("vo", q_vo, successor=1)
+        e_bk = macs[0].add_entity("bk", q_bk, successor=2)
+        configure_entity(e_vo, AC_VO)
+        configure_entity(e_bk, AC_BK)
+        for seq in range(400):
+            q_vo.push(Packet(flow_id="VO", seq=seq, src=0, dst=1))
+            q_bk.push(Packet(flow_id="BK", seq=seq, src=0, dst=2))
+        e_vo.notify_enqueue()
+        e_bk.notify_enqueue()
+        engine.run(until=seconds(3))
+        assert e_vo.tx_successes > 1.5 * e_bk.tx_successes

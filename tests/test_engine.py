@@ -1,0 +1,164 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import Engine, SimTimeError
+
+
+class TestScheduling:
+    def test_starts_at_time_zero(self):
+        assert Engine().now == 0
+
+    def test_runs_event_at_scheduled_time(self):
+        engine = Engine()
+        fired = []
+        engine.schedule(50, lambda: fired.append(engine.now))
+        engine.run()
+        assert fired == [50]
+
+    def test_events_run_in_time_order(self):
+        engine = Engine()
+        order = []
+        engine.schedule(30, order.append, "b")
+        engine.schedule(10, order.append, "a")
+        engine.schedule(99, order.append, "c")
+        engine.run()
+        assert order == ["a", "b", "c"]
+
+    def test_same_tick_events_run_in_schedule_order(self):
+        engine = Engine()
+        order = []
+        for tag in ("first", "second", "third"):
+            engine.schedule(5, order.append, tag)
+        engine.run()
+        assert order == ["first", "second", "third"]
+
+    def test_zero_delay_allowed(self):
+        engine = Engine()
+        fired = []
+        engine.schedule(0, fired.append, 1)
+        engine.run()
+        assert fired == [1]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimTimeError):
+            Engine().schedule(-1, lambda: None)
+
+    def test_schedule_at_absolute_time(self):
+        engine = Engine()
+        fired = []
+        engine.schedule_at(123, lambda: fired.append(engine.now))
+        engine.run()
+        assert fired == [123]
+
+    def test_schedule_at_past_rejected(self):
+        engine = Engine()
+        engine.schedule(10, lambda: None)
+        engine.run()
+        with pytest.raises(SimTimeError):
+            engine.schedule_at(5, lambda: None)
+
+    def test_args_passed_to_callback(self):
+        engine = Engine()
+        seen = []
+        engine.schedule(1, lambda a, b: seen.append((a, b)), "x", 42)
+        engine.run()
+        assert seen == [("x", 42)]
+
+    def test_events_scheduled_during_run_execute(self):
+        engine = Engine()
+        fired = []
+
+        def chain():
+            fired.append(engine.now)
+            if engine.now < 30:
+                engine.schedule(10, chain)
+
+        engine.schedule(10, chain)
+        engine.run()
+        assert fired == [10, 20, 30]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        engine = Engine()
+        fired = []
+        event = engine.schedule(10, fired.append, 1)
+        event.cancel()
+        engine.run()
+        assert fired == []
+
+    def test_cancel_is_idempotent(self):
+        engine = Engine()
+        event = engine.schedule(10, lambda: None)
+        event.cancel()
+        event.cancel()
+        engine.run()
+
+    def test_cancel_one_of_many(self):
+        engine = Engine()
+        fired = []
+        keep = engine.schedule(10, fired.append, "keep")
+        drop = engine.schedule(10, fired.append, "drop")
+        drop.cancel()
+        engine.run()
+        assert fired == ["keep"]
+
+    def test_cancelled_events_not_counted_as_processed(self):
+        engine = Engine()
+        event = engine.schedule(10, lambda: None)
+        event.cancel()
+        engine.schedule(20, lambda: None)
+        engine.run()
+        assert engine.processed_events == 1
+
+
+class TestRunUntil:
+    def test_run_until_stops_clock_at_bound(self):
+        engine = Engine()
+        engine.schedule(100, lambda: None)
+        engine.run(until=40)
+        assert engine.now == 40
+        assert engine.pending_events == 1
+
+    def test_event_exactly_at_until_executes(self):
+        engine = Engine()
+        fired = []
+        engine.schedule(40, fired.append, 1)
+        engine.run(until=40)
+        assert fired == [1]
+
+    def test_run_resumes_after_until(self):
+        engine = Engine()
+        fired = []
+        engine.schedule(100, fired.append, 1)
+        engine.run(until=40)
+        engine.run(until=200)
+        assert fired == [1]
+        assert engine.now == 200
+
+    def test_clock_advances_to_until_with_empty_heap(self):
+        engine = Engine()
+        engine.run(until=77)
+        assert engine.now == 77
+
+
+class TestStep:
+    def test_step_executes_single_event(self):
+        engine = Engine()
+        fired = []
+        engine.schedule(5, fired.append, "a")
+        engine.schedule(10, fired.append, "b")
+        assert engine.step()
+        assert fired == ["a"]
+
+    def test_step_on_empty_heap_returns_false(self):
+        assert not Engine().step()
+
+    def test_step_skips_cancelled(self):
+        engine = Engine()
+        fired = []
+        engine.schedule(5, fired.append, "a").cancel()
+        engine.schedule(10, fired.append, "b")
+        assert engine.step()
+        assert fired == ["b"]

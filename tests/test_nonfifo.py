@@ -1,0 +1,93 @@
+"""Tests for the non-FIFO (opportunistic forwarding) BOE extension."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.nonfifo import NonFifoBOE
+
+
+class TestBasics:
+    def test_fifo_forwarding_matches_plain_boe(self):
+        boe = NonFifoBOE("next")
+        for checksum in (1, 2, 3, 4):
+            boe.note_sent(checksum)
+        assert boe.note_overheard(1) == 3
+        assert boe.note_overheard(2) == 2
+
+    def test_out_of_order_forwarding_keeps_earlier_entries(self):
+        boe = NonFifoBOE("next")
+        for checksum in (1, 2, 3):
+            boe.note_sent(checksum)
+        # The successor opportunistically forwards packet 2 first.
+        assert boe.note_overheard(2) == 1
+        # Packet 1 is still tracked (it may still be queued).
+        assert boe.note_overheard(1) == 1
+        assert boe.pending == 1
+
+    def test_unmatched_returns_none(self):
+        boe = NonFifoBOE("next")
+        boe.note_sent(1)
+        assert boe.note_overheard(999) is None
+        assert boe.overheard_unmatched == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NonFifoBOE("next", history_size=1)
+        with pytest.raises(ValueError):
+            NonFifoBOE("next", smoothing_window=0)
+
+
+class TestSmoothing:
+    def test_no_estimate_before_samples(self):
+        assert NonFifoBOE("next").smoothed_estimate() is None
+
+    def test_median_robust_to_reordering_noise(self):
+        boe = NonFifoBOE("next", smoothing_window=11)
+        # Successor holds ~5 packets; occasional reordering produces
+        # outlier gaps. Feed gaps directly through the overhear path.
+        for i in range(100):
+            boe.note_sent(i)
+        rng = random.Random(1)
+        queue = list(range(100))
+        for _ in range(60):
+            # forward mostly head-of-line, sometimes the 10th-in-line
+            index = 0 if rng.random() < 0.8 else min(9, len(queue) - 1)
+            boe.note_overheard(queue.pop(index))
+        smoothed = boe.smoothed_estimate()
+        assert smoothed is not None
+        # The median tracks the bulk (large outliers do not dominate).
+        raw_recent = list(boe._recent)
+        assert smoothed <= sorted(raw_recent)[len(raw_recent) // 2] + 1
+
+    def test_smoothed_callbacks_fire(self):
+        boe = NonFifoBOE("next", smoothing_window=3)
+        seen = []
+        boe.smoothed_callbacks.append(seen.append)
+        boe.note_sent(1)
+        boe.note_sent(2)
+        boe.note_overheard(1)
+        assert len(seen) == 1
+
+
+class TestProperties:
+    @given(st.lists(st.integers(0, 0xFFFF), min_size=2, max_size=80, unique=True), st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_property_any_forwarding_order_gives_valid_gaps(self, checksums, data):
+        boe = NonFifoBOE("next")
+        for checksum in checksums:
+            boe.note_sent(checksum)
+        order = data.draw(st.permutations(checksums))
+        for checksum in order:
+            gap = boe.note_overheard(checksum)
+            assert gap is not None
+            assert 0 <= gap < len(checksums)
+        assert boe.pending == 0
+
+    @given(st.lists(st.integers(0, 0xFFFF), max_size=150))
+    def test_property_pending_bounded(self, checksums):
+        boe = NonFifoBOE("next", history_size=40)
+        for checksum in checksums:
+            boe.note_sent(checksum)
+        assert boe.pending <= 40

@@ -1,0 +1,115 @@
+"""Tests for packets, checksums and static routing."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net.packet import Packet, checksum16
+from repro.net.routing import RoutingError, StaticRouting
+
+
+class TestChecksum:
+    def test_deterministic(self):
+        assert checksum16("F1", 7) == checksum16("F1", 7)
+
+    def test_sixteen_bit_range(self):
+        for seq in range(200):
+            assert 0 <= checksum16("F", seq) <= 0xFFFF
+
+    def test_varies_with_inputs(self):
+        values = {checksum16("F", seq) for seq in range(100)}
+        assert len(values) > 90  # collisions possible but rare
+
+    @given(st.text(max_size=10), st.integers(0, 10**9))
+    def test_property_in_range(self, flow, seq):
+        assert 0 <= checksum16(flow, seq) <= 0xFFFF
+
+
+class TestPacket:
+    def test_checksum_auto_assigned(self):
+        p = Packet(flow_id="F", seq=1, src=0, dst=3)
+        assert p.checksum == checksum16("F", 1)
+
+    def test_explicit_checksum_kept(self):
+        p = Packet(flow_id="F", seq=1, src=0, dst=3, checksum=0xBEEF)
+        assert p.checksum == 0xBEEF
+
+    def test_delay_none_until_delivered(self):
+        p = Packet(flow_id="F", seq=1, src=0, dst=3, created_at=100)
+        assert p.delay_us is None
+        p.delivered_at = 300
+        assert p.delay_us == 200
+
+    def test_path_delay_requires_first_tx(self):
+        p = Packet(flow_id="F", seq=1, src=0, dst=3, created_at=0)
+        p.delivered_at = 500
+        assert p.path_delay_us is None
+        p.first_tx_at = 100
+        assert p.path_delay_us == 400
+
+    def test_positive_size_required(self):
+        with pytest.raises(ValueError):
+            Packet(flow_id="F", seq=1, src=0, dst=3, size_bytes=0)
+
+    def test_default_size_1000(self):
+        assert Packet(flow_id="F", seq=1, src=0, dst=3).size_bytes == 1000
+
+
+class TestStaticRouting:
+    def test_install_path_and_follow(self):
+        routing = StaticRouting()
+        routing.install_path([0, 1, 2, 3])
+        assert routing.next_hop(0, 3) == 1
+        assert routing.next_hop(1, 3) == 2
+        assert routing.next_hop(2, 3) == 3
+
+    def test_path_materialization(self):
+        routing = StaticRouting()
+        routing.install_path(["a", "b", "c"])
+        assert routing.path("a", "c") == ["a", "b", "c"]
+
+    def test_missing_route_raises(self):
+        with pytest.raises(RoutingError):
+            StaticRouting().next_hop(0, 9)
+
+    def test_has_route(self):
+        routing = StaticRouting()
+        routing.install_path([0, 1])
+        assert routing.has_route(0, 1)
+        assert not routing.has_route(1, 0)
+
+    def test_self_route_rejected(self):
+        with pytest.raises(RoutingError):
+            StaticRouting().set_next_hop(0, 0, 1)
+
+    def test_next_hop_cannot_be_self(self):
+        with pytest.raises(RoutingError):
+            StaticRouting().set_next_hop(0, 5, 0)
+
+    def test_short_path_rejected(self):
+        with pytest.raises(RoutingError):
+            StaticRouting().install_path([0])
+
+    def test_repeated_node_in_path_rejected(self):
+        with pytest.raises(RoutingError):
+            StaticRouting().install_path([0, 1, 0])
+
+    def test_successors_of(self):
+        routing = StaticRouting()
+        routing.install_path([0, 1, 2])
+        routing.install_path([0, 3, 4])
+        assert set(routing.successors_of(0)) == {1, 3}
+
+    def test_loop_detection(self):
+        routing = StaticRouting()
+        routing.set_next_hop("a", "z", "b")
+        routing.set_next_hop("b", "z", "a")
+        with pytest.raises(RoutingError):
+            routing.path("a", "z", max_hops=10)
+
+    def test_two_flows_share_segment(self):
+        routing = StaticRouting()
+        routing.install_path([10, 4, 3, 2])
+        routing.install_path([11, 4, 3, 2])
+        assert routing.next_hop(4, 2) == 3
+        assert routing.next_hop(10, 2) == 4
+        assert routing.next_hop(11, 2) == 4

@@ -1,0 +1,86 @@
+"""Tests for propagation models and range derivation."""
+
+import math
+
+import pytest
+
+from repro.phy.propagation import RangeModel, TwoRayGround, distance
+
+
+class TestDistance:
+    def test_euclidean(self):
+        assert distance((0, 0), (3, 4)) == 5.0
+
+    def test_zero(self):
+        assert distance((1, 1), (1, 1)) == 0.0
+
+
+class TestTwoRayGround:
+    def test_power_decays_with_distance(self):
+        model = TwoRayGround()
+        d = model.crossover_distance() + 10
+        assert model.received_power(d) > model.received_power(2 * d)
+
+    def test_far_field_is_fourth_power(self):
+        model = TwoRayGround()
+        d = model.crossover_distance() * 2
+        ratio = model.received_power(d) / model.received_power(2 * d)
+        assert ratio == pytest.approx(16.0)
+
+    def test_near_field_is_square_law(self):
+        model = TwoRayGround()
+        d = model.crossover_distance() / 8
+        ratio = model.received_power(d) / model.received_power(2 * d)
+        assert ratio == pytest.approx(4.0)
+
+    def test_zero_distance_returns_tx_power(self):
+        model = TwoRayGround()
+        assert model.received_power(0) == model.tx_power_w
+
+    def test_range_for_threshold_roundtrip(self):
+        model = TwoRayGround()
+        d = model.crossover_distance() * 3
+        threshold = model.received_power(d)
+        assert model.range_for_threshold(threshold) == pytest.approx(d, rel=1e-6)
+
+    def test_range_for_threshold_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            TwoRayGround().range_for_threshold(0.0)
+
+    def test_crossover_formula(self):
+        model = TwoRayGround()
+        expected = 4 * math.pi * model.height_tx_m * model.height_rx_m / model.wavelength_m
+        assert model.crossover_distance() == pytest.approx(expected)
+
+
+class TestRangeModel:
+    def test_defaults_are_papers(self):
+        model = RangeModel()
+        assert model.tx_range_m == 250.0
+        assert model.sense_range_m == 550.0
+
+    def test_receive_within_tx_range(self):
+        model = RangeModel()
+        assert model.can_receive(250.0)
+        assert not model.can_receive(250.1)
+
+    def test_sense_within_sense_range(self):
+        model = RangeModel()
+        assert model.can_sense(550.0)
+        assert not model.can_sense(551.0)
+
+    def test_sense_must_cover_tx(self):
+        with pytest.raises(ValueError):
+            RangeModel(tx_range_m=300, sense_range_m=200)
+
+    def test_positive_ranges_required(self):
+        with pytest.raises(ValueError):
+            RangeModel(tx_range_m=0, sense_range_m=100)
+
+    def test_from_two_ray(self):
+        phys = TwoRayGround()
+        rx_t = phys.received_power(250.0)
+        cs_t = phys.received_power(550.0)
+        model = RangeModel.from_two_ray(phys, rx_t, cs_t)
+        assert model.tx_range_m == pytest.approx(250.0, rel=1e-6)
+        assert model.sense_range_m == pytest.approx(550.0, rel=1e-6)

@@ -1,0 +1,39 @@
+"""Tests for named deterministic RNG streams."""
+
+from repro.sim.rng import RngRegistry
+
+
+def test_same_name_same_stream_object():
+    registry = RngRegistry(1)
+    assert registry.stream("a") is registry.stream("a")
+
+
+def test_same_seed_and_name_reproduce_sequence():
+    first = [RngRegistry(7).stream("mac.0").random() for _ in range(5)]
+    second = [RngRegistry(7).stream("mac.0").random() for _ in range(5)]
+    assert first == second
+
+
+def test_different_names_are_independent():
+    registry = RngRegistry(7)
+    a = [registry.stream("a").random() for _ in range(5)]
+    b = [registry.stream("b").random() for _ in range(5)]
+    assert a != b
+
+
+def test_different_seeds_differ():
+    a = RngRegistry(1).stream("x").random()
+    b = RngRegistry(2).stream("x").random()
+    assert a != b
+
+
+def test_fork_is_deterministic():
+    a = RngRegistry(3).fork(5).stream("x").random()
+    b = RngRegistry(3).fork(5).stream("x").random()
+    assert a == b
+
+
+def test_fork_differs_from_parent():
+    parent = RngRegistry(3)
+    child = parent.fork(1)
+    assert parent.stream("x").random() != child.stream("x").random()

@@ -1,0 +1,114 @@
+"""Smoke tests for the scenario experiment harnesses at tiny scales.
+
+The benchmarks exercise the shapes at realistic horizons; these tests
+only verify the harness plumbing — tables populated, series recorded,
+aliases wired — so a refactor cannot silently break an experiment.
+"""
+
+import pytest
+
+from repro.experiments import fig4, loadsweep, scenario1, scenario2, table2
+
+
+class TestScenario1Harness:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return scenario1.run(time_scale=0.02, seed=5)
+
+    def test_period_table_covers_both_macs(self, result):
+        table = result.find_table("Scenario 1")
+        labels = {(row[0], row[1]) for row in table.rows}
+        assert ("P1 (F1 alone)", "off") in labels
+        assert ("P1 (F1 alone)", "on") in labels
+
+    def test_f2_only_reported_in_p2(self, result):
+        table = result.find_table("Scenario 1")
+        f2_periods = {row[0] for row in table.rows if row[2] == "F2"}
+        assert f2_periods == {"P2 (F1+F2)"}
+
+    def test_fig6_series_for_both_flows(self, result):
+        for tag in ("std", "ez"):
+            for flow in ("F1", "F2"):
+                assert f"fig6.{tag}.{flow}.throughput_kbps" in result.series
+
+    def test_fig8_cw_table_only_ez(self, result):
+        cw_table = result.find_table("Figure 8")
+        assert all(row[0] == "on" for row in cw_table.rows)
+        assert len(cw_table.rows) >= 8
+
+    def test_parameters_recorded(self, result):
+        assert result.parameters["time_scale"] == 0.02
+
+
+class TestScenario2Harness:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return scenario2.run(time_scale=0.01, seed=6)
+
+    def test_table3_has_twelve_rows(self, result):
+        table = result.find_table("Table 3")
+        assert len(table.rows) == 12  # (2+3+1) flows x 2 MACs
+
+    def test_paper_reference_column_populated(self, result):
+        table = result.find_table("Table 3")
+        papers = [row[3] for row in table.rows]
+        assert 145.6 in papers and 27.3 in papers
+
+    def test_fairness_reported_for_multiflow_periods(self, result):
+        table = result.find_table("Table 3")
+        for period, ez, flow, paper, thr, sd, fi, pd in table.rows:
+            if period in ("P1", "P2"):
+                assert fi != "-"
+            else:
+                assert fi == "-"
+
+    def test_fig10_series_exist(self, result):
+        for tag in ("std", "ez"):
+            for flow in ("F1", "F2", "F3"):
+                assert f"fig10.{tag}.{flow}.delay_s" in result.series
+
+    def test_fig11_covers_flow_heads(self, result):
+        cw_table = result.find_table("Figure 11")
+        nodes = {row[1] for row in cw_table.rows}
+        assert {0, 10, 19} <= nodes
+
+
+class TestOtherHarnessPlumbing:
+    def test_fig4_series_naming(self):
+        result = fig4.run(duration_s=15.0, warmup_s=5.0, seed=4)
+        assert "F1.std.N1.buffer" in result.series
+        assert "F2.ez.N4.buffer" in result.series
+
+    def test_table2_runs_all_scenarios(self):
+        result = table2.run(duration_s=15.0, warmup_s=5.0, seed=4)
+        table = result.find_table("Table 2")
+        scenarios = {row[0] for row in table.rows}
+        assert scenarios == {"F1 alone", "F2 alone", "parking lot"}
+
+    def test_loadsweep_series(self):
+        result = loadsweep.run(duration_s=20.0, warmup_s=5.0, loads_kbps=(100.0,))
+        assert len(result.series["goodput.std"]) == 1
+        assert len(result.series["goodput.ez"]) == 1
+
+
+class TestCli:
+    def test_cli_lists_and_runs(self, capsys):
+        from repro.experiments.__main__ import main
+
+        code = main(["stability"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table 4" in out
+
+    def test_cli_unknown_experiment(self):
+        from repro.experiments.__main__ import main
+
+        with pytest.raises(KeyError):
+            main(["fig99"])
+
+    def test_cli_rejects_bad_kwargs(self, capsys):
+        from repro.experiments.__main__ import main
+
+        # --duration is not a scenario1 parameter -> exit code 2
+        code = main(["scenario1", "--duration", "5"])
+        assert code == 2

@@ -1,0 +1,121 @@
+"""Tests for traffic sources."""
+
+import pytest
+
+from repro.net.flow import Flow
+from repro.sim.units import seconds
+from repro.traffic.sources import CbrSource, PoissonSource, SaturatedSource
+from repro.topology.builders import build_network, build_chain_positions
+from repro.phy.connectivity import GeometricConnectivity
+from repro.phy.propagation import RangeModel
+
+
+def two_node_network(seed=0):
+    conn = GeometricConnectivity(build_chain_positions(2), RangeModel())
+    network = build_network(conn, seed=seed)
+    network.routing.install_path([0, 1])
+    flow = Flow("F", 0, 1)
+    network.flows["F"] = flow
+    network.nodes[1].register_flow(flow)
+    return network, flow
+
+
+class TestCbrSource:
+    def test_interval_from_rate(self):
+        network, flow = two_node_network()
+        source = CbrSource(network.engine, network.nodes[0], flow, 2_000_000.0, 1000)
+        # 8000 bits at 2 Mb/s = 4 ms
+        assert source.interval_us == 4000
+
+    def test_generates_at_rate(self):
+        network, flow = two_node_network()
+        source = CbrSource(network.engine, network.nodes[0], flow, 400_000.0, 1000)
+        source.start()
+        network.engine.run(until=seconds(1))
+        # 400 kb/s / 8 kb per packet = 50 pkt/s
+        assert flow.generated == pytest.approx(50, abs=2)
+
+    def test_respects_start_time(self):
+        network, flow = two_node_network()
+        flow.start_us = seconds(0.5)
+        source = CbrSource(network.engine, network.nodes[0], flow, 400_000.0, 1000)
+        source.start()
+        network.engine.run(until=seconds(1))
+        assert flow.generated == pytest.approx(25, abs=2)
+
+    def test_stops_at_stop_time(self):
+        network, flow = two_node_network()
+        flow.stop_us = seconds(0.5)
+        source = CbrSource(network.engine, network.nodes[0], flow, 400_000.0, 1000)
+        source.start()
+        network.engine.run(until=seconds(2))
+        assert flow.generated == pytest.approx(25, abs=2)
+
+    def test_positive_rate_required(self):
+        network, flow = two_node_network()
+        with pytest.raises(ValueError):
+            CbrSource(network.engine, network.nodes[0], flow, 0.0)
+
+    def test_wrong_node_rejected(self):
+        network, flow = two_node_network()
+        with pytest.raises(ValueError):
+            CbrSource(network.engine, network.nodes[1], flow, 1000.0)
+
+    def test_double_start_rejected(self):
+        network, flow = two_node_network()
+        source = CbrSource(network.engine, network.nodes[0], flow, 1000.0)
+        source.start()
+        with pytest.raises(RuntimeError):
+            source.start()
+
+
+class TestPoissonSource:
+    def test_mean_rate(self):
+        network, flow = two_node_network(seed=9)
+        source = PoissonSource(
+            network.engine, network.nodes[0], flow, 400_000.0, network.rng, 1000
+        )
+        source.start()
+        network.engine.run(until=seconds(10))
+        # 50 pkt/s expected over 10 s -> 500, Poisson sd ~22
+        assert 400 < flow.generated < 600
+
+    def test_deterministic_given_seed(self):
+        counts = []
+        for _ in range(2):
+            network, flow = two_node_network(seed=5)
+            source = PoissonSource(
+                network.engine, network.nodes[0], flow, 200_000.0, network.rng, 1000
+            )
+            source.start()
+            network.engine.run(until=seconds(5))
+            counts.append(flow.generated)
+        assert counts[0] == counts[1]
+
+
+class TestSaturatedSource:
+    def test_keeps_source_queue_full(self):
+        network, flow = two_node_network()
+        source = SaturatedSource(network.engine, network.nodes[0], flow)
+        source.start()
+        network.engine.run(until=seconds(1))
+        queue, _ = network.nodes[0].queue_for("own", 1)
+        assert queue.is_full()
+
+    def test_delivers_continuously(self):
+        network, flow = two_node_network()
+        source = SaturatedSource(network.engine, network.nodes[0], flow)
+        source.start()
+        network.engine.run(until=seconds(2))
+        # saturated 1-hop link at ~0.9 Mb/s delivers >100 packets in 2 s
+        assert flow.delivered > 100
+
+    def test_respects_stop(self):
+        network, flow = two_node_network()
+        flow.stop_us = seconds(0.2)
+        source = SaturatedSource(network.engine, network.nodes[0], flow)
+        source.start()
+        network.engine.run(until=seconds(2))
+        generated_at_stop = flow.generated
+        network.engine.run(until=seconds(3))
+        assert flow.generated == generated_at_stop

@@ -1,0 +1,37 @@
+"""Tests for time-unit conversions."""
+
+from repro.sim.units import (
+    US_PER_MS,
+    US_PER_S,
+    microseconds,
+    milliseconds,
+    seconds,
+    to_seconds,
+)
+
+
+def test_seconds_to_ticks():
+    assert seconds(1) == US_PER_S
+    assert seconds(2.5) == 2_500_000
+
+
+def test_milliseconds_to_ticks():
+    assert milliseconds(1) == US_PER_MS
+    assert milliseconds(0.5) == 500
+
+
+def test_microseconds_rounds():
+    assert microseconds(1.4) == 1
+    assert microseconds(1.6) == 2
+
+
+def test_to_seconds_roundtrip():
+    assert to_seconds(seconds(3.25)) == 3.25
+
+
+def test_seconds_returns_int():
+    assert isinstance(seconds(0.1), int)
+
+
+def test_fractional_seconds():
+    assert seconds(0.000001) == 1
