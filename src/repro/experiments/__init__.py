@@ -1,8 +1,10 @@
 """Experiment harnesses: one module per paper table/figure.
 
-Registry mapping experiment ids to their ``run`` callables; the CLI
-(``python -m repro.experiments <id>``) and the benchmarks both resolve
-experiments through :func:`get_experiment`.
+The catalogue lives in :mod:`repro.experiments.specs` as declarative
+:class:`~repro.experiments.specs.ScenarioSpec`s (id, entry point,
+parameter schema); :mod:`repro.experiments.runner` fans batches of runs
+out over processes. The CLI (``python -m repro.experiments``) and the
+benchmarks both resolve experiments through :func:`get_experiment`.
 
 | id        | paper content                                   |
 |-----------|--------------------------------------------------|
@@ -13,56 +15,28 @@ experiments through :func:`get_experiment`.
 | scenario1 | merge topology, Figures 6, 7, 8                  |
 | scenario2 | three-flow topology, Figures 10, 11, Table 3     |
 | stability | Table 4 + Theorem 1 + random-walk contrast       |
+| loadsweep | offered-load sweep ± EZ-flow                     |
+| bidirectional | transport window sweep on the chain          |
+
+Harness modules stay importable directly (``from repro.experiments
+import fig1``); the registry resolves them lazily so ``list`` and spec
+validation never pay harness import cost.
 """
 
-from typing import Callable, Dict
+from typing import Callable
 
-from repro.experiments import (
-    bidirectional,
-    fig1,
-    fig4,
-    loadsweep,
-    scenario1,
-    scenario2,
-    stability,
-    table1,
-    table2,
-)
 from repro.experiments.common import ExperimentResult, Table
-
-_REGISTRY: Dict[str, Callable[..., ExperimentResult]] = {
-    "fig1": fig1.run,
-    "table1": table1.run,
-    "fig4": fig4.run,
-    "table2": table2.run,
-    "scenario1": scenario1.run,
-    "fig6": scenario1.run,
-    "fig7": scenario1.run,
-    "fig8": scenario1.run,
-    "scenario2": scenario2.run,
-    "fig10": scenario2.run,
-    "fig11": scenario2.run,
-    "table3": scenario2.run,
-    "stability": stability.run,
-    "table4": stability.run,
-    "loadsweep": loadsweep.run,
-    "bidirectional": bidirectional.run,
-}
+from repro.experiments.specs import get_spec, spec_ids
 
 
 def experiment_ids():
-    """All registered experiment ids."""
-    return sorted(_REGISTRY)
+    """All registered experiment ids (figure/table aliases included)."""
+    return spec_ids()
 
 
 def get_experiment(experiment_id: str) -> Callable[..., ExperimentResult]:
     """Resolve an experiment id (figure aliases included) to its runner."""
-    try:
-        return _REGISTRY[experiment_id]
-    except KeyError:
-        raise KeyError(
-            f"unknown experiment {experiment_id!r}; known: {', '.join(experiment_ids())}"
-        ) from None
+    return get_spec(experiment_id).resolve()
 
 
 __all__ = ["ExperimentResult", "Table", "experiment_ids", "get_experiment"]

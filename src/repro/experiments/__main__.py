@@ -1,31 +1,81 @@
-"""CLI: regenerate any paper table or figure.
+"""CLI: regenerate paper tables/figures and run parameter sweeps.
+
+Subcommands::
+
+    list                      catalogue of scenarios and their parameters
+    run <ids...|all>          run one, several, or all experiments
+    sweep <id> --grid k=v,..  cartesian parameter-grid sweep of one scenario
 
 Examples::
 
-    python -m repro.experiments fig1
-    python -m repro.experiments table2 --duration 1800
-    python -m repro.experiments scenario1 --time-scale 1.0
-    python -m repro.experiments all
+    python -m repro.experiments list
+    python -m repro.experiments run fig1
+    python -m repro.experiments run all --jobs 4 --out results/
+    python -m repro.experiments run table2 --duration 1800
+    python -m repro.experiments sweep loadsweep --grid hops=2,3,4 \\
+        --grid seed=1,2,3 --jobs 4 --out results/
+    python -m repro.experiments sweep stability --grid cw=8,8,8,8;16,16,16,16 \\
+        --replicates 3 --base-seed 9
+
+Legacy spelling (``python -m repro.experiments fig1 --seed 2``) still
+works: a first argument that is not a subcommand is treated as ``run``.
+
+``run ... --jobs N`` fans independent experiments out over N worker
+processes; ``--jobs 0`` uses every available core. Results are printed
+— and exported with ``--out`` — in deterministic order, byte-identical
+whatever N is. ``--out DIR`` writes per-run ``result.json`` + series
+CSVs + ``tables.md``, a ``manifest.json``, and an ``EXPERIMENTS.md``
+index rendering every table and series.
+
+Option values are validated against each scenario's declared parameter
+schema before anything runs: a typo'd or unsupported option is reported
+as such (exit 2), and genuine errors inside an experiment propagate as
+themselves instead of being mislabelled "unknown option".
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-import time
+from typing import Dict, List, Optional
 
-from repro.experiments import experiment_ids, get_experiment
+from repro.experiments.runner import (
+    RunRecord,
+    SweepRunner,
+    catalogue_requests,
+    default_jobs,
+    grid_requests,
+    request_for,
+)
+from repro.experiments.specs import (
+    ParameterValueError,
+    ScenarioSpec,
+    UnknownExperimentError,
+    UnknownParameterError,
+    get_spec,
+    spec_ids,
+    SPECS,
+)
+
+SUBCOMMANDS = ("run", "sweep", "list")
 
 
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="python -m repro.experiments",
-        description="Regenerate the EZ-flow paper's tables and figures.",
+def _add_jobs_out(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes (0 = all available cores; default 1)",
     )
     parser.add_argument(
-        "experiment",
-        help=f"experiment id or 'all'; known: {', '.join(experiment_ids())}",
+        "--out",
+        default=None,
+        metavar="DIR",
+        help="export results (JSON/CSV/markdown + EXPERIMENTS.md) to DIR",
     )
+
+
+def _add_overrides(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=None, help="override the RNG seed")
     parser.add_argument(
         "--duration", type=float, default=None, help="run duration in seconds"
@@ -36,33 +86,180 @@ def main(argv=None) -> int:
         default=None,
         help="schedule compression for scenario experiments (1.0 = paper)",
     )
-    args = parser.parse_args(argv)
+    parser.add_argument(
+        "--set",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        dest="assignments",
+        help="set any declared parameter (repeatable), e.g. --set hops=6",
+    )
 
-    ids = experiment_ids() if args.experiment == "all" else [args.experiment]
-    # Collapse figure aliases so 'all' does not rerun shared harnesses.
-    seen = set()
-    for experiment_id in ids:
-        runner = get_experiment(experiment_id)
-        if runner in seen:
-            continue
-        seen.add(runner)
-        kwargs = {}
-        if args.seed is not None:
-            kwargs["seed"] = args.seed
-        if args.duration is not None:
-            kwargs["duration_s"] = args.duration
-        if args.time_scale is not None:
-            kwargs["time_scale"] = args.time_scale
-        started = time.time()
-        try:
-            result = runner(**kwargs)
-        except TypeError as error:
-            print(f"{experiment_id}: {error}", file=sys.stderr)
-            return 2
-        print(result.render())
-        print(f"(wall time {time.time() - started:.1f} s)")
-        print()
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the EZ-flow paper's tables/figures and run sweeps.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one, several, or all experiments")
+    run.add_argument(
+        "experiments",
+        nargs="+",
+        metavar="ID",
+        help=f"experiment ids or 'all'; known: {', '.join(spec_ids())}",
+    )
+    _add_overrides(run)
+    _add_jobs_out(run)
+
+    sweep = sub.add_parser("sweep", help="parameter-grid sweep of one scenario")
+    sweep.add_argument("experiment", metavar="ID", help="scenario id to sweep")
+    sweep.add_argument(
+        "--grid",
+        action="append",
+        default=[],
+        metavar="KEY=V1,V2,...",
+        dest="grid_axes",
+        help="one grid axis (repeatable); ';' separates sequence values",
+    )
+    sweep.add_argument(
+        "--replicates", type=int, default=1, help="runs per grid point (default 1)"
+    )
+    sweep.add_argument(
+        "--base-seed",
+        type=int,
+        default=None,
+        help="derive a distinct seed per run from this base",
+    )
+    _add_jobs_out(sweep)
+
+    sub.add_parser("list", help="print the scenario catalogue")
+    return parser
+
+
+def _collect_overrides(args) -> Dict[str, object]:
+    """Merge --seed/--duration/--time-scale with --set assignments."""
+    overrides: Dict[str, object] = {}
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if args.duration is not None:
+        overrides["duration_s"] = args.duration
+    if args.time_scale is not None:
+        overrides["time_scale"] = args.time_scale
+    for assignment in args.assignments:
+        key, sep, value = assignment.partition("=")
+        if not sep or not key:
+            raise ParameterValueError(f"--set expects KEY=VALUE, got {assignment!r}")
+        overrides[key.strip()] = value.strip()
+    return overrides
+
+
+def _parse_grid(axes: List[str], spec: ScenarioSpec) -> Dict[str, List[str]]:
+    """Parse repeated ``--grid key=v1,v2`` options into a grid mapping.
+
+    Scalar-kind axes split on ','. Sequence-kind parameters (e.g.
+    ``cw``) split on ';' so each value can itself contain commas:
+    ``--grid cw=8,8,8,8`` is ONE four-element value and
+    ``--grid cw=8,8,8,8;16,16,16,16`` is two grid values.
+    """
+    grid: Dict[str, List[str]] = {}
+    for axis in axes:
+        key, sep, values = axis.partition("=")
+        if not sep or not key or not values:
+            raise ParameterValueError(f"--grid expects KEY=V1,V2,..., got {axis!r}")
+        key = key.strip()
+        param = spec.param(key)  # unknown axis -> UnknownParameterError
+        sep_char = ";" if param.kind in ("ints", "floats") else ","
+        grid[key] = [v.strip() for v in values.split(sep_char) if v.strip()]
+        if not grid[key]:
+            raise ParameterValueError(f"--grid {key}: no values given")
+    return grid
+
+
+def _print_record(record: RunRecord) -> None:
+    print(record.result.render())
+    print(f"(wall time {record.wall_s:.1f} s)")
+    print()
+
+
+def _run_batch(requests, jobs: int, out: Optional[str]) -> None:
+    if jobs < 0:
+        raise ParameterValueError("--jobs must be >= 0 (0 = all available cores)")
+    runner = SweepRunner(jobs=default_jobs() if jobs == 0 else jobs)
+    records = runner.run(requests, on_record=_print_record)
+    if out is not None:
+        from repro.experiments.export import export_records
+
+        export_records(records, out)
+        print(f"exported {len(records)} run(s) to {out}", file=sys.stderr)
+
+
+def cmd_list() -> int:
+    for spec in SPECS:
+        aliases = f" (aliases: {', '.join(spec.aliases)})" if spec.aliases else ""
+        print(f"{spec.id}: {spec.description}{aliases}")
+        for param in spec.params:
+            help_text = f"  — {param.help}" if param.help else ""
+            print(f"    {param.name} ({param.kind}, default {param.default!r}){help_text}")
     return 0
+
+
+def cmd_run(args) -> int:
+    overrides = _collect_overrides(args)
+    ids = list(args.experiments)
+    if "all" in ids:
+        ids = spec_ids(include_aliases=False)
+        requests, warnings = catalogue_requests(ids, overrides, strict=False)
+        for warning in warnings:
+            print(warning, file=sys.stderr)
+    else:
+        requests = [
+            request_for(get_spec(experiment_id).id, overrides) for experiment_id in ids
+        ]
+        # Collapse figure aliases so e.g. 'fig6 fig7' runs the shared
+        # harness once; dedup keeps first occurrence order.
+        seen = set()
+        requests = [
+            r for r in requests if not (r.run_id in seen or seen.add(r.run_id))
+        ]
+    _run_batch(requests, args.jobs, args.out)
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    spec = get_spec(args.experiment)
+    grid = _parse_grid(args.grid_axes, spec)
+    requests = grid_requests(
+        spec.id, grid, base_seed=args.base_seed, replicates=args.replicates
+    )
+    print(
+        f"sweep {spec.id}: {len(requests)} run(s) "
+        f"({len(grid)} axis/axes, {args.replicates} replicate(s))",
+        file=sys.stderr,
+    )
+    _run_batch(requests, args.jobs, args.out)
+    return 0
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # Legacy spelling: `python -m repro.experiments fig1 ...` == `run fig1 ...`.
+    if argv and argv[0] not in SUBCOMMANDS and not argv[0].startswith("-"):
+        argv.insert(0, "run")
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "list":
+            return cmd_list()
+        if args.command == "run":
+            return cmd_run(args)
+        return cmd_sweep(args)
+    except (UnknownParameterError, ParameterValueError, UnknownExperimentError) as error:
+        # Only CLI-input errors are caught; errors raised inside an
+        # experiment harness (including KeyErrors) propagate as-is.
+        message = error.args[0] if error.args else error
+        print(message, file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -78,6 +78,42 @@ class ExperimentResult:
                 return table
         raise KeyError(f"no table matching {title_fragment!r}")
 
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-data form (JSON-safe given JSON-safe cell values).
+
+        Deterministic: key order is fixed by construction order and the
+        export layer dumps with sorted keys, so identical results always
+        serialize to identical bytes (the sweep-runner guarantee).
+        """
+        return {
+            "experiment": self.experiment,
+            "description": self.description,
+            "parameters": dict(self.parameters),
+            "tables": [
+                {"title": t.title, "columns": list(t.columns), "rows": [list(r) for r in t.rows]}
+                for t in self.tables
+            ],
+            "series": {name: [list(p) for p in points] for name, points in self.series.items()},
+            "notes": list(self.notes),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ExperimentResult":
+        """Inverse of :meth:`to_dict` (series points become tuples)."""
+        result = cls(
+            experiment=data["experiment"],
+            description=data["description"],
+            parameters=dict(data.get("parameters", {})),
+            notes=list(data.get("notes", [])),
+        )
+        for t in data.get("tables", []):
+            table = result.table(t["title"], t["columns"])
+            for row in t["rows"]:
+                table.add(*row)
+        for name, points in data.get("series", {}).items():
+            result.series[name] = [tuple(p) for p in points]
+        return result
+
     def render(self) -> str:
         """Human-readable rendering of all tables, series and notes."""
         lines = [f"=== {self.experiment}: {self.description} ==="]

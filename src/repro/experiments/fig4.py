@@ -12,11 +12,9 @@ from __future__ import annotations
 
 from typing import Dict, Tuple
 
-from repro.core import attach_ezflow
 from repro.experiments.common import ExperimentResult
-from repro.metrics.sampling import BufferSampler
+from repro.experiments.testbedlab import testbed_simulation
 from repro.sim.units import seconds
-from repro.topology.testbed import testbed_network
 
 #: Paper caption reference, (flow, node) -> mean buffer.
 PAPER_MEANS = {
@@ -49,18 +47,12 @@ def run(
     )
     for flow_id in ("F1", "F2"):
         for ezflow in (False, True):
-            network = testbed_network(seed=seed, flows=(flow_id,))
-            if ezflow:
-                attach_ezflow(network.nodes)
-            sampler = BufferSampler(
-                network.engine,
-                network.trace,
-                network.nodes,
-                WATCHED[flow_id],
-                sample_interval_s,
+            # The simulation is shared with Table 2 (same seed/duration):
+            # testbedlab memoises it, so `all` runs it once.
+            run_handle = testbed_simulation(
+                seed, (flow_id,), duration_s, ezflow, sample_interval_s
             )
-            sampler.start()
-            network.run(until_us=seconds(duration_s))
+            sampler = run_handle.sampler
             start, end = seconds(warmup_s), seconds(duration_s)
             for node in WATCHED[flow_id]:
                 series = sampler.series_for(node)

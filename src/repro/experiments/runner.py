@@ -1,0 +1,233 @@
+"""Parallel scenario-sweep runner.
+
+``SweepRunner`` executes :class:`RunRequest` batches — single paper
+experiments, the whole catalogue, or cartesian parameter grids — either
+inline or fanned out over ``multiprocessing`` workers. Results come back
+in request order regardless of worker count, and every run's seed is
+derived from the request alone, so a parallel sweep is byte-identical to
+the same sweep run serially (``tests/test_runner.py`` locks this in).
+
+Design rules that keep the guarantee cheap:
+
+* a request is a pure function of (spec id, kwargs): workers share no
+  state and results are collected with order-preserving ``imap``;
+* exported artefacts never contain wall-clock times or timestamps —
+  timing is reported on stdout only;
+* worker processes re-resolve the entry point from the spec's
+  ``module:function`` string, so requests pickle trivially under both
+  fork and spawn start methods.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.experiments.common import ExperimentResult
+from repro.experiments.specs import ScenarioSpec, get_spec
+
+
+@dataclass(frozen=True)
+class RunRequest:
+    """One unit of work: a scenario plus its (validated) kwargs.
+
+    ``run_id`` names the run everywhere — progress lines, export
+    directories, manifest entries. It must be unique within a batch and
+    filesystem-safe; :func:`request_for` and :func:`grid_requests` build
+    canonical ones.
+    """
+
+    spec_id: str
+    kwargs: Tuple[Tuple[str, object], ...]  # sorted items, hashable/picklable
+    run_id: str
+
+    @property
+    def kwargs_dict(self) -> Dict[str, object]:
+        return dict(self.kwargs)
+
+
+@dataclass
+class RunRecord:
+    """The outcome of one request."""
+
+    request: RunRequest
+    result: ExperimentResult
+    wall_s: float
+
+
+def _slug(value: object) -> str:
+    """Filesystem-safe rendering of one kwarg value."""
+    if isinstance(value, (tuple, list)):
+        return "+".join(_slug(v) for v in value)
+    return str(value).replace("/", "_").replace(" ", "")
+
+
+def make_run_id(spec_id: str, kwargs: Mapping[str, object]) -> str:
+    """Canonical run id: the spec id plus sorted ``key=value`` parts."""
+    parts = [spec_id]
+    for key in sorted(kwargs):
+        parts.append(f"{key}={_slug(kwargs[key])}")
+    return "~".join(parts)
+
+
+def request_for(
+    spec_id: str,
+    kwargs: Optional[Mapping[str, object]] = None,
+    run_id: Optional[str] = None,
+) -> RunRequest:
+    """Build a validated request for one scenario run."""
+    spec = get_spec(spec_id)
+    validated = spec.validate(kwargs or {})
+    items = tuple(sorted(validated.items()))
+    return RunRequest(
+        spec_id=spec.id,
+        kwargs=items,
+        run_id=run_id or (spec.id if not items else make_run_id(spec.id, validated)),
+    )
+
+
+def expand_grid(grid: Mapping[str, Sequence[object]]) -> List[Dict[str, object]]:
+    """Cartesian product of a parameter grid, in deterministic order.
+
+    Keys are iterated sorted; values in the order given. ``{}`` yields
+    one empty point (the scenario's defaults).
+    """
+    keys = sorted(grid)
+    combos = itertools.product(*(tuple(grid[k]) for k in keys))
+    return [dict(zip(keys, combo)) for combo in combos]
+
+
+def grid_requests(
+    spec_id: str,
+    grid: Mapping[str, Sequence[object]],
+    base_seed: Optional[int] = None,
+    replicates: int = 1,
+) -> List[RunRequest]:
+    """Requests for every grid point (× replicates) of one scenario.
+
+    With ``base_seed`` set, each run gets ``seed`` derived from
+    (base_seed, spec id, run index) via :meth:`ScenarioSpec.derive_seed`;
+    a ``seed`` axis in the grid itself wins over derivation. Without
+    ``base_seed`` and without a seed axis, every replicate runs the
+    scenario's default seed (replicates > 1 then only make sense for
+    timing, so ``replicates`` requires one of the two).
+    """
+    if replicates < 1:
+        raise ValueError("replicates must be >= 1")
+    spec = get_spec(spec_id)
+    if replicates > 1 and base_seed is None and "seed" not in grid:
+        raise ValueError("replicates > 1 needs base_seed or a seed axis")
+    requests: List[RunRequest] = []
+    index = 0
+    for point in expand_grid(grid):
+        for replicate in range(replicates):
+            kwargs = dict(point)
+            derived = base_seed is not None and "seed" not in point
+            if derived:
+                kwargs["seed"] = spec.derive_seed(base_seed, index)
+            run_id = make_run_id(spec.id, kwargs)
+            # Without a derived per-index seed, replicates of a point
+            # share identical kwargs; the suffix keeps run ids unique.
+            if replicates > 1 and not derived:
+                run_id = f"{run_id}~r{replicate}"
+            requests.append(request_for(spec.id, kwargs, run_id=run_id))
+            index += 1
+    return requests
+
+
+def catalogue_requests(
+    spec_ids: Iterable[str],
+    overrides: Optional[Mapping[str, object]] = None,
+    strict: bool = True,
+) -> Tuple[List[RunRequest], List[str]]:
+    """Requests for a list of scenario ids with shared kwarg overrides.
+
+    Aliases collapse onto their primary spec (each harness runs once).
+    In ``strict`` mode an override a scenario does not declare raises
+    :class:`~repro.experiments.specs.UnknownParameterError`; otherwise it
+    is skipped for that scenario and reported in the returned warning
+    list (the ``all`` behaviour: ``--duration`` applies where it means
+    something).
+    """
+    overrides = dict(overrides or {})
+    requests: List[RunRequest] = []
+    warnings: List[str] = []
+    seen = set()
+    for spec_id in spec_ids:
+        spec = get_spec(spec_id)
+        if spec.id in seen:
+            continue
+        seen.add(spec.id)
+        kwargs = {}
+        for key, value in overrides.items():
+            if any(p.name == key for p in spec.params):
+                kwargs[key] = value
+            elif strict:
+                spec.param(key)  # raises UnknownParameterError
+            else:
+                warnings.append(f"{spec.id}: ignoring undeclared option {key!r}")
+        requests.append(request_for(spec.id, kwargs, run_id=spec.id))
+    return requests, warnings
+
+
+def execute_request(request: RunRequest) -> RunRecord:
+    """Run one request in this process (also the worker entry point)."""
+    spec = get_spec(request.spec_id)
+    started = time.perf_counter()
+    result = spec.run(**request.kwargs_dict)
+    return RunRecord(request, result, time.perf_counter() - started)
+
+
+class SweepRunner:
+    """Fan a batch of requests out over processes, deterministically.
+
+    ``jobs=1`` runs inline (no pool, no pickling); ``jobs>1`` uses a
+    ``multiprocessing`` pool with order-preserving ``imap`` so records
+    always come back in request order. ``on_record`` (if given) fires in
+    that same order as results arrive — progress reporting stays
+    deterministic too.
+    """
+
+    def __init__(self, jobs: int = 1, mp_context: Optional[str] = None):
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.jobs = jobs
+        self.mp_context = mp_context
+
+    def run(
+        self,
+        requests: Sequence[RunRequest],
+        on_record: Optional[Callable[[RunRecord], None]] = None,
+    ) -> List[RunRecord]:
+        """Execute ``requests`` and return their records, in request order."""
+        run_ids = [r.run_id for r in requests]
+        if len(set(run_ids)) != len(run_ids):
+            raise ValueError("duplicate run ids in batch")
+        records: List[RunRecord] = []
+        if self.jobs == 1 or len(requests) <= 1:
+            for request in requests:
+                record = execute_request(request)
+                if on_record is not None:
+                    on_record(record)
+                records.append(record)
+            return records
+        context = multiprocessing.get_context(self.mp_context)
+        workers = min(self.jobs, len(requests))
+        with context.Pool(processes=workers) as pool:
+            for record in pool.imap(execute_request, requests, chunksize=1):
+                if on_record is not None:
+                    on_record(record)
+                records.append(record)
+        return records
+
+
+def default_jobs() -> int:
+    """Worker count for ``--jobs 0``: every core the container grants."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-linux
+        return os.cpu_count() or 1

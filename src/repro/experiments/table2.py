@@ -17,12 +17,11 @@ from __future__ import annotations
 
 from typing import Dict, Tuple
 
-from repro.core import attach_ezflow
 from repro.experiments.common import ExperimentResult, throughput_gain
+from repro.experiments.testbedlab import testbed_simulation
 from repro.metrics.fairness import jain_fairness_index
 from repro.metrics.stats import summarize_flow
 from repro.sim.units import seconds
-from repro.topology.testbed import testbed_network
 
 #: (scenario, flow, ezflow) -> paper mean throughput in kb/s.
 PAPER_THROUGHPUT = {
@@ -71,10 +70,8 @@ def run(
     gains = []
     for scenario, flows in SCENARIOS.items():
         for ezflow in (False, True):
-            network = testbed_network(seed=seed, flows=flows)
-            if ezflow:
-                attach_ezflow(network.nodes)
-            network.run(until_us=seconds(duration_s))
+            # Shared with Figure 4 (same seed/duration) via testbedlab.
+            network = testbed_simulation(seed, flows, duration_s, ezflow).network
             stats = {f: summarize_flow(network.flow(f), start, end) for f in flows}
             fi = (
                 jain_fairness_index(

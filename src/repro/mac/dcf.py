@@ -15,18 +15,23 @@ elapsed idle time back into consumed slots.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Hashable, List, Optional
+from typing import Callable, Deque, Dict, Hashable, List, Optional
 
 from repro.mac.frames import Frame, FrameKind, make_ack_frame, make_data_frame
 from repro.mac.queues import FifoQueue
 from repro.phy.channel import Channel, PhyListener
 from repro.phy.rates import DSSS_1MBPS, PhyRates
-from repro.sim.engine import Engine, Event
+from repro.sim.engine import Engine
 from repro.sim.rng import RngRegistry
 from repro.sim.tracing import TraceRecorder
 
 NodeId = Hashable
+
+#: Hoisted enum members (hot-path identity checks).
+_ACK = FrameKind.ACK
+_DATA = FrameKind.DATA
 
 
 @dataclass
@@ -79,7 +84,11 @@ class TxEntity:
         self.retries = 0
         self.slots_remaining = 0
         self.backoff_started_at: Optional[int] = None
-        self.fire_event: Optional[Event] = None
+        # Backoff timer: generation-checked fire-and-forget posts instead
+        # of cancellable Event objects (armed <-> a live generation is in
+        # the heap; bumping the generation disarms a stale post).
+        self.fire_armed = False
+        self._fire_gen = 0
         self.pending_frame: Optional[Frame] = None
         # Statistics.
         self.tx_attempts = 0
@@ -128,36 +137,50 @@ class TxEntity:
 
     def _try_resume(self) -> None:
         """(Re)arm the fire timer if the medium is idle."""
-        if self.state is not TxEntity.BACKOFF or self.fire_event is not None:
+        if self.state is not TxEntity.BACKOFF or self.fire_armed:
             return
-        if not self.dcf.medium_idle():
+        dcf = self.dcf
+        port = dcf._port
+        if port.sensed or port.own_tx is not None:
             return
-        rates = self.dcf.config.rates
-        ifs = self.dcf.current_ifs_us(self.aifsn)
+        rates = dcf.config.rates
+        # current_ifs_us inlined (and eifs read from the precomputed
+        # attribute rather than through the property descriptor).
+        if dcf._use_eifs:
+            ifs = rates._eifs_us
+        else:
+            ifs = rates.sifs_us + self.aifsn * rates.slot_time_us
+        engine = dcf.engine
         delay = ifs + self.slots_remaining * rates.slot_time_us
-        self.backoff_started_at = self.dcf.engine.now + ifs
-        self.fire_event = self.dcf.engine.schedule(delay, self._fire)
+        self.backoff_started_at = engine.now + ifs
+        self._fire_gen = gen = self._fire_gen + 1
+        self.fire_armed = True
+        engine.post(delay, self._fire, gen)
 
     def _suspend(self) -> None:
         """Medium went busy: cancel the timer, bank consumed slots."""
-        if self.fire_event is None:
+        if not self.fire_armed:
             return
-        self.fire_event.cancel()
-        self.fire_event = None
+        self.fire_armed = False
+        self._fire_gen += 1
         now = self.dcf.engine.now
         if self.backoff_started_at is not None and now > self.backoff_started_at:
             elapsed_slots = (now - self.backoff_started_at) // self.dcf.config.rates.slot_time_us
             self.slots_remaining = max(0, self.slots_remaining - int(elapsed_slots))
         self.backoff_started_at = None
 
-    def _fire(self) -> None:
-        self.fire_event = None
+    def _fire(self, gen: int) -> None:
+        if gen != self._fire_gen or not self.fire_armed:
+            return  # a stale post; the timer was suspended meanwhile
+        self.fire_armed = False
         self.backoff_started_at = None
         self.slots_remaining = 0
         if self.queue.is_empty():  # pragma: no cover - defensive
             self.state = TxEntity.IDLE
             return
-        if not self.dcf.medium_idle() or self.dcf.radio_busy():
+        dcf = self.dcf
+        port = dcf._port
+        if port.sensed or port.own_tx is not None or dcf._transmitting_entity is not None:
             # Lost an internal race: another entity of this node is
             # transmitting (or still awaiting its ACK — the medium can
             # be idle during the SIFS/ACK window after a lost ACK, but
@@ -218,6 +241,10 @@ class TxEntity:
             self._try_resume()
 
 
+#: Hoisted TxEntity.BACKOFF for identity checks in per-frame loops.
+_BACKOFF = TxEntity.BACKOFF
+
+
 class Dcf(PhyListener):
     """The MAC of one node: several TxEntities sharing one radio."""
 
@@ -240,8 +267,10 @@ class Dcf(PhyListener):
         self.entities: List[TxEntity] = []
         self._seq = 0
         self._transmitting_entity: Optional[TxEntity] = None
-        self._ack_timeout_event: Optional[Event] = None
+        self._ack_gen = 0
         self._awaiting_ack_from: Optional[NodeId] = None
+        self._ack_timeout_cache: Dict[int, int] = {}
+        self._ack_frames: Dict[NodeId, Frame] = {}
         self._use_eifs = False
         self._dedup: "OrderedDedup" = OrderedDedup(self.config.dedup_cache_size)
         # Upper-layer callbacks (wired by the node stack).
@@ -250,7 +279,7 @@ class Dcf(PhyListener):
         self.on_tx_start: Optional[Callable[[TxEntity, Frame], None]] = None
         self.on_tx_success: Optional[Callable[[TxEntity, object, Frame], None]] = None
         self.on_tx_drop: Optional[Callable[[TxEntity, object], None]] = None
-        channel.attach(node_id, self)
+        self._port = channel.attach(node_id, self)
 
     # -- wiring -----------------------------------------------------------
 
@@ -267,14 +296,16 @@ class Dcf(PhyListener):
 
     def trace_bump(self, key: str) -> None:
         """Increment a trace counter if tracing is enabled."""
-        if self.trace is not None:
-            self.trace.bump(key)
+        trace = self.trace
+        if trace is not None:
+            trace.counters[key] += 1.0
 
     # -- medium state -----------------------------------------------------
 
     def medium_idle(self) -> bool:
         """True when this node senses no carrier and is not transmitting."""
-        return self.channel.is_idle(self.node_id)
+        port = self._port
+        return not port.sensed and port.own_tx is None
 
     def radio_busy(self) -> bool:
         """True while a data/ACK exchange of this node is outstanding.
@@ -308,27 +339,32 @@ class Dcf(PhyListener):
             # Last chance to stamp per-frame metadata (e.g. DiffQ's
             # piggybacked queue length) before the frame hits the air.
             self.on_tx_start(entity, frame)
-        duration = self.config.rates.frame_tx_time_us(frame.size_bytes)
+        config = self.config
+        duration = config.rates.frame_tx_time_us(frame.size_bytes)
         self._transmitting_entity = entity
         self._awaiting_ack_from = entity.successor
         self.channel.transmit(self.node_id, frame, duration)
         self.trace_bump("mac.data_tx")
         # Suspend every other entity: our own transmission occupies the radio.
         for other in self.entities:
-            if other is not entity:
+            if other is not entity and other.fire_armed:
                 other._suspend()
-        rates = self.config.rates
-        timeout = (
-            duration
-            + rates.sifs_us
-            + rates.ack_tx_time_us()
-            + rates.slot_time_us
-            + self.config.ack_timeout_slack_us
-        )
-        self._ack_timeout_event = self.engine.schedule(timeout, self._ack_timed_out)
+        timeout = self._ack_timeout_cache.get(duration)
+        if timeout is None:
+            rates = config.rates
+            timeout = self._ack_timeout_cache[duration] = (
+                duration
+                + rates.sifs_us
+                + rates.ack_tx_time_us()
+                + rates.slot_time_us
+                + config.ack_timeout_slack_us
+            )
+        self._ack_gen = gen = self._ack_gen + 1
+        self.engine.post(timeout, self._ack_timed_out, gen)
 
-    def _ack_timed_out(self) -> None:
-        self._ack_timeout_event = None
+    def _ack_timed_out(self, gen: int) -> None:
+        if gen != self._ack_gen:
+            return  # the exchange completed; this timeout was disarmed
         entity = self._transmitting_entity
         self._transmitting_entity = None
         self._awaiting_ack_from = None
@@ -352,25 +388,33 @@ class Dcf(PhyListener):
 
     def on_medium_busy(self, now: int) -> None:
         for entity in self.entities:
-            entity._suspend()
+            if entity.fire_armed:
+                entity._suspend()
 
     def on_medium_idle(self, now: int) -> None:
-        self._resume_all()
+        # The channel only reports idle transitions, so the medium check
+        # of _resume_all is already satisfied here.
+        for entity in self.entities:
+            if entity.state is _BACKOFF and not entity.fire_armed:
+                entity._try_resume()
 
     def _resume_all(self) -> None:
-        if not self.medium_idle():
+        port = self._port
+        if port.sensed or port.own_tx is not None:
             return
+        backoff = TxEntity.BACKOFF
         for entity in self.entities:
-            entity._try_resume()
+            if entity.state is backoff and not entity.fire_armed:
+                entity._try_resume()
 
     def on_frame_received(self, frame: Frame, now: int) -> None:
-        if frame.kind is FrameKind.ACK:
+        if frame.kind is _ACK:
             self._handle_ack(frame)
             return
         # DATA addressed to us: always ACK (802.11 ACKs even duplicates).
         self._send_ack(frame)
         self._use_eifs = False
-        if self._dedup.seen(frame.dedup_key()):
+        if self._dedup.seen((frame.src, frame.seq)):
             self.trace_bump("mac.duplicates")
             return
         if self.on_data_received is not None:
@@ -381,9 +425,7 @@ class Dcf(PhyListener):
             self._transmitting_entity is not None
             and frame.src == self._awaiting_ack_from
         ):
-            if self._ack_timeout_event is not None:
-                self._ack_timeout_event.cancel()
-                self._ack_timeout_event = None
+            self._ack_gen += 1  # disarm the pending timeout post
             entity = self._transmitting_entity
             self._transmitting_entity = None
             self._awaiting_ack_from = None
@@ -393,19 +435,23 @@ class Dcf(PhyListener):
 
     def _send_ack(self, data_frame: Frame) -> None:
         """Reply with an ACK after SIFS (no carrier sense for ACKs)."""
-        ack = make_ack_frame(self.node_id, data_frame.src)
-        duration = self.config.rates.ack_tx_time_us()
+        # ACK frames are immutable and this node sends at most one at a
+        # time, so one cached frame per destination suffices.
+        dst = data_frame.src
+        ack = self._ack_frames.get(dst)
+        if ack is None:
+            ack = self._ack_frames[dst] = make_ack_frame(self.node_id, dst)
+        rates = self.config.rates
+        self.engine.post(rates.sifs_us, self._do_send_ack, ack, rates.ack_tx_time_us())
 
-        def do_send():
-            if not self.channel.is_transmitting(self.node_id):
-                self.channel.transmit(self.node_id, ack, duration)
-                self.trace_bump("mac.ack_tx")
-
-        self.engine.schedule(self.config.rates.sifs_us, do_send)
+    def _do_send_ack(self, ack: Frame, duration: int) -> None:
+        if self._port.own_tx is None:
+            self.channel.transmit(self.node_id, ack, duration)
+            self.trace_bump("mac.ack_tx")
 
     def on_frame_overheard(self, frame: Frame, now: int) -> None:
         self._use_eifs = False
-        if frame.kind is FrameKind.DATA and self.on_data_overheard is not None:
+        if frame.kind is _DATA and self.on_data_overheard is not None:
             self.on_data_overheard(frame, now)
 
     def on_frame_error(self, now: int) -> None:
@@ -417,7 +463,7 @@ class OrderedDedup:
 
     def __init__(self, size: int):
         self.size = size
-        self._order: List[tuple] = []
+        self._order: Deque[tuple] = deque()
         self._set: set = set()
 
     def seen(self, key: tuple) -> bool:
@@ -427,6 +473,5 @@ class OrderedDedup:
         self._set.add(key)
         self._order.append(key)
         if len(self._order) > self.size:
-            old = self._order.pop(0)
-            self._set.discard(old)
+            self._set.discard(self._order.popleft())
         return False

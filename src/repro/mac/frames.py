@@ -22,7 +22,7 @@ class FrameKind(enum.Enum):
     ACK = "ack"
 
 
-@dataclass
+@dataclass(slots=True)
 class Frame:
     """One MAC frame in flight."""
 
@@ -33,6 +33,10 @@ class Frame:
     packet: Optional[object] = None
     seq: int = 0
     retry: bool = False
+    # Piggyback fields stamped by message-passing baselines (DiffQ);
+    # declared here because Frame is slotted for dispatch speed.
+    diffq_backlog: Optional[int] = None
+    diffq_src: Optional[Hashable] = None
 
     @property
     def size_bytes(self) -> int:

@@ -10,7 +10,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, Optional
 
-from repro.sim.tracing import TraceRecorder
+from repro.sim.tracing import TimeSeries, TraceRecorder
 
 DEFAULT_CAPACITY = 50
 
@@ -39,6 +39,13 @@ class FifoQueue:
         self.enqueued = 0
         self.dropped = 0
         self.dequeued = 0
+        # Occupancy is recorded on every push/pop; resolve the series
+        # and key once instead of formatting/looking them up per packet.
+        self._drop_key = f"{name}.drops"
+        if trace is not None and engine is not None:
+            self._occupancy = trace.series.setdefault(f"{name}.occupancy", TimeSeries())
+        else:
+            self._occupancy = None
 
     def __len__(self) -> int:
         return len(self._items)
@@ -61,23 +68,33 @@ class FifoQueue:
         With ``strict=True`` a full queue raises :class:`QueueDropError`
         instead of silently dropping.
         """
-        if self.is_full():
+        if len(self._items) >= self.capacity:
             self.dropped += 1
             if self.trace is not None:
-                self.trace.bump(f"{self.name}.drops")
+                self.trace.bump(self._drop_key)
             if strict:
                 raise QueueDropError(f"{self.name} full (capacity {self.capacity})")
             return False
-        self._items.append(item)
+        items = self._items
+        items.append(item)
         self.enqueued += 1
-        self._record()
+        series = self._occupancy
+        if series is not None:
+            # Inlined TimeSeries.append: engine time is monotone, so the
+            # ordering check is redundant on this per-packet path.
+            series.times.append(self.engine.now)
+            series.values.append(len(items))
         return True
 
     def pop(self):
         """Remove and return the head item (raises IndexError when empty)."""
-        item = self._items.popleft()
+        items = self._items
+        item = items.popleft()
         self.dequeued += 1
-        self._record()
+        series = self._occupancy
+        if series is not None:
+            series.times.append(self.engine.now)
+            series.values.append(len(items))
         return item
 
     def peek(self):
@@ -85,5 +102,7 @@ class FifoQueue:
         return self._items[0]
 
     def _record(self) -> None:
-        if self.trace is not None and self.engine is not None:
-            self.trace.record(f"{self.name}.occupancy", self.engine.now, len(self._items))
+        """Append the current occupancy sample (push/pop inline this)."""
+        series = self._occupancy
+        if series is not None:
+            series.append(self.engine.now, len(self._items))

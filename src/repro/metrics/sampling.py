@@ -40,7 +40,7 @@ class BufferSampler:
         if self._started:
             raise RuntimeError("sampler already started")
         self._started = True
-        self.engine.schedule(0, self._sample)
+        self.engine.post(0, self._sample)
 
     def _sample(self) -> None:
         now = self.engine.now
@@ -52,7 +52,7 @@ class BufferSampler:
                 else stack.total_buffer_occupancy()
             )
             self.trace.record(f"buffer.node{node_id}", now, value)
-        self.engine.schedule(self.interval_us, self._sample)
+        self.engine.post(self.interval_us, self._sample)
 
     def series_for(self, node_id: Hashable):
         """The recorded occupancy series of one node."""

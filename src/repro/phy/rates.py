@@ -23,15 +23,25 @@ class PhyRates:
     plcp_header_us: int
     cca_time_us: int = 15
 
+    def __post_init__(self):
+        # Air times are pure functions of the (frozen) fields and sit on
+        # the per-frame hot path; memoise them once per instance.
+        object.__setattr__(self, "_frame_us_cache", {})
+        ack = self.frame_tx_time_us(14, self.basic_rate_bps)
+        difs = self.sifs_us + 2 * self.slot_time_us
+        object.__setattr__(self, "_ack_us", ack)
+        object.__setattr__(self, "_difs_us", difs)
+        object.__setattr__(self, "_eifs_us", self.sifs_us + ack + difs)
+
     @property
     def difs_us(self) -> int:
         """DIFS = SIFS + 2 * slot."""
-        return self.sifs_us + 2 * self.slot_time_us
+        return self._difs_us
 
     @property
     def eifs_us(self) -> int:
         """EIFS used after an undecodable frame: SIFS + ACK-at-basic + DIFS."""
-        return self.sifs_us + self.ack_tx_time_us() + self.difs_us
+        return self._eifs_us
 
     def plcp_overhead_us(self) -> int:
         """PLCP preamble + header air time prepended to every frame."""
@@ -44,13 +54,18 @@ class PhyRates:
         overhead plus payload bits at the rate, rounded up to a whole
         microsecond.
         """
-        rate = rate_bps or self.data_rate_bps
-        bits = payload_bytes * 8
-        return self.plcp_overhead_us() + -(-bits * 1_000_000 // rate)
+        key = (payload_bytes, rate_bps)
+        cached = self._frame_us_cache.get(key)
+        if cached is None:
+            rate = rate_bps or self.data_rate_bps
+            bits = payload_bytes * 8
+            cached = self.plcp_overhead_us() + -(-bits * 1_000_000 // rate)
+            self._frame_us_cache[key] = cached
+        return cached
 
     def ack_tx_time_us(self) -> int:
         """Air time of a 14-byte ACK frame at the basic rate."""
-        return self.frame_tx_time_us(14, self.basic_rate_bps)
+        return self._ack_us
 
 
 #: 802.11b DSSS at 1 Mb/s with long preamble (the paper's configuration).

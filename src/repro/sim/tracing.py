@@ -8,6 +8,7 @@ of series plus scalar counters, shared by the MAC/PHY/metrics layers.
 from __future__ import annotations
 
 from bisect import bisect_left, bisect_right
+from collections import defaultdict
 from typing import Dict, Iterator, List, Tuple
 
 from repro.sim.units import US_PER_S
@@ -115,17 +116,18 @@ class TraceRecorder:
 
     def __init__(self):
         self.series: Dict[str, TimeSeries] = {}
-        self.counters: Dict[str, float] = {}
+        self.counters: Dict[str, float] = defaultdict(float)
 
     def record(self, key: str, time: int, value: float) -> None:
         """Append a sample to the series ``key`` (created on first use)."""
-        if key not in self.series:
-            self.series[key] = TimeSeries()
-        self.series[key].append(time, value)
+        series = self.series.get(key)
+        if series is None:
+            series = self.series[key] = TimeSeries()
+        series.append(time, value)
 
     def bump(self, key: str, amount: float = 1.0) -> None:
         """Increment the scalar counter ``key``."""
-        self.counters[key] = self.counters.get(key, 0.0) + amount
+        self.counters[key] += amount
 
     def get(self, key: str) -> TimeSeries:
         """Return the series for ``key`` (empty series if never recorded)."""

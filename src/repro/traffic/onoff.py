@@ -53,7 +53,7 @@ class OnOffSource(_SourceBase):
             self._phase_ends_at = now + max(1, int(self.rng.expovariate(1.0 / mean)))
         if self._on and self.flow.active_at(now):
             self.node.send(self._make_packet())
-        self.engine.schedule(self.interval_us, self._tick)
+        self.engine.post(self.interval_us, self._tick)
 
     @property
     def is_on(self) -> bool:

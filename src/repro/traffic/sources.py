@@ -44,16 +44,17 @@ class _SourceBase:
             raise RuntimeError("source already started")
         self._started = True
         delay = max(0, self.flow.start_us - self.engine.now)
-        self.engine.schedule(delay, self._tick)
+        self.engine.post(delay, self._tick)
 
     def _make_packet(self) -> Packet:
-        self._seq += 1
-        self.flow.note_generated()
+        self._seq = seq = self._seq + 1
+        flow = self.flow
+        flow.generated += 1  # note_generated() inlined (hot path)
         return Packet(
-            flow_id=self.flow.flow_id,
-            seq=self._seq,
-            src=self.flow.src,
-            dst=self.flow.dst,
+            flow_id=flow.flow_id,
+            seq=seq,
+            src=flow.src,
+            dst=flow.dst,
             size_bytes=self.packet_bytes,
             created_at=self.engine.now,
         )
@@ -80,12 +81,16 @@ class CbrSource(_SourceBase):
         self.interval_us = max(1, int(round(packet_bytes * 8 * US_PER_S / rate_bps)))
 
     def _tick(self) -> None:
-        now = self.engine.now
-        if self.flow.stop_us is not None and now >= self.flow.stop_us:
+        engine = self.engine
+        now = engine.now
+        flow = self.flow
+        stop = flow.stop_us
+        if stop is not None and now >= stop:
             return
-        if self.flow.active_at(now):
+        # active_at(now) inlined: the stop bound is already checked.
+        if now >= flow.start_us:
             self.node.send(self._make_packet())
-        self.engine.schedule(self.interval_us, self._tick)
+        engine.post(self.interval_us, self._tick)
 
 
 class PoissonSource(_SourceBase):
@@ -113,7 +118,7 @@ class PoissonSource(_SourceBase):
         if self.flow.active_at(now):
             self.node.send(self._make_packet())
         delay = max(1, int(self.rng.expovariate(1.0 / self.mean_interval_us)))
-        self.engine.schedule(delay, self._tick)
+        self.engine.post(delay, self._tick)
 
 
 class SaturatedSource(_SourceBase):
@@ -133,15 +138,25 @@ class SaturatedSource(_SourceBase):
     ):
         super().__init__(engine, node, flow, packet_bytes)
         self.poll_interval_us = poll_interval_us
+        # Routing is static for the lifetime of a network, so the (queue,
+        # entity) pair is resolved once instead of on every 2 ms poll.
+        self._target = None
 
     def _tick(self) -> None:
-        now = self.engine.now
-        if self.flow.stop_us is not None and now >= self.flow.stop_us:
+        engine = self.engine
+        now = engine.now
+        flow = self.flow
+        stop = flow.stop_us
+        if stop is not None and now >= stop:
             return
-        if self.flow.active_at(now):
-            next_hop = self.node.routing.next_hop(self.node.node_id, self.flow.dst)
-            queue, entity = self.node.queue_for("own", next_hop)
-            while not queue.is_full():
-                queue.push(self._make_packet())
-            entity.notify_enqueue()
-        self.engine.schedule(self.poll_interval_us, self._tick)
+        # active_at(now) inlined: the stop bound is already checked.
+        if now >= flow.start_us:
+            if self._target is None:
+                next_hop = self.node.routing.next_hop(self.node.node_id, flow.dst)
+                self._target = self.node.queue_for("own", next_hop)
+            queue, entity = self._target
+            if not queue.is_full():
+                while not queue.is_full():
+                    queue.push(self._make_packet())
+                entity.notify_enqueue()
+        engine.post(self.poll_interval_us, self._tick)

@@ -97,6 +97,70 @@ class TestChecksumCollisions:
         boe.note_sent(0x1FFFF)  # masked to 0xFFFF
         assert boe.note_overheard(0xFFFF) == 0
 
+    def test_collision_match_prunes_history_prefix(self):
+        """Matching the most recent occurrence drops everything before it."""
+        boe = BufferOccupancyEstimator("next")
+        for checksum in (7, 8, 7, 9):
+            boe.note_sent(checksum)
+        assert boe.note_overheard(7) == 1  # matches the second 7
+        # 7, 8, 7 are pruned: only 9 is still believed queued, and the
+        # first 7/8 can no longer match stale or duplicate overhearings.
+        assert boe.pending == 1
+        assert boe.note_overheard(7) is None
+        assert boe.note_overheard(8) is None
+        assert boe.note_overheard(9) == 0
+        assert boe.pending == 0
+
+    def test_duplicate_checksum_survives_pruning_of_older_copy(self):
+        """Pruning an older duplicate must not forget the newer one."""
+        boe = BufferOccupancyEstimator("next")
+        for checksum in (5, 1, 2, 5):
+            boe.note_sent(checksum)
+        # Overhearing 1 prunes the prefix (5, 1); the *newer* 5 remains.
+        assert boe.note_overheard(1) == 2
+        assert boe.note_overheard(5) == 0
+        assert boe.pending == 0
+
+    def test_eviction_of_most_recent_occurrence_forgets_checksum(self):
+        boe = BufferOccupancyEstimator("next", history_size=2)
+        boe.note_sent(1)
+        boe.note_sent(2)
+        boe.note_sent(3)  # evicts 1
+        assert boe.note_overheard(1) is None
+        assert boe.overheard_unmatched == 1
+
+    def test_matches_reference_reverse_scan_implementation(self):
+        """The indexed lookup must be step-for-step equivalent to the
+        naive reverse scan of Algorithm 1 (incl. collisions/pruning)."""
+        import random
+
+        def reference_overheard(history, checksum):
+            # Reverse scan for the most recent occurrence; prune prefix.
+            for offset, value in enumerate(reversed(history)):
+                if value == checksum:
+                    index = len(history) - 1 - offset
+                    estimate = len(history) - 1 - index
+                    del history[: index + 1]
+                    return estimate
+            return None
+
+        rng = random.Random(42)
+        boe = BufferOccupancyEstimator("next", history_size=40)
+        reference = []
+        for _ in range(3000):
+            # A tiny 4-bit checksum space forces frequent collisions.
+            checksum = rng.randrange(16)
+            if rng.random() < 0.6:
+                boe.note_sent(checksum)
+                reference.append(checksum)
+                if len(reference) > 40:
+                    del reference[0]
+            else:
+                assert boe.note_overheard(checksum) == reference_overheard(
+                    reference, checksum
+                )
+                assert boe.pending == len(reference)
+
 
 class TestCallbacks:
     def test_sample_callbacks_invoked(self):

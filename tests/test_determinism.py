@@ -7,8 +7,16 @@ simulation in two subprocesses with different hash seeds and demands
 bit-identical statistics.
 """
 
+import os
 import subprocess
 import sys
+
+import pytest
+
+import repro
+
+# Heavy end-to-end simulations: excluded from the CI fast lane.
+pytestmark = pytest.mark.slow
 
 SCRIPT = """
 from repro.core import attach_ezflow
@@ -28,11 +36,19 @@ print(
 
 
 def run_with_hashseed(seed: str) -> str:
+    # The child needs to import repro; derive the import root from the
+    # installed package itself so the test works from any invocation
+    # (plain `PYTHONPATH=src pytest`, editable install, tox, ...).
+    import_root = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
     result = subprocess.run(
         [sys.executable, "-c", SCRIPT],
         capture_output=True,
         text=True,
-        env={"PYTHONHASHSEED": seed, "PATH": "/usr/bin:/bin"},
+        env={
+            "PYTHONHASHSEED": seed,
+            "PATH": os.environ.get("PATH", "/usr/bin:/bin"),
+            "PYTHONPATH": import_root,
+        },
         timeout=120,
     )
     assert result.returncode == 0, result.stderr

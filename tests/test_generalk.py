@@ -11,6 +11,9 @@ from repro.analysis.generalk import (
 )
 from repro.analysis.slotted import FixedCwRule
 
+# Heavy end-to-end simulations: excluded from the CI fast lane.
+pytestmark = pytest.mark.slow
+
 
 class TestRegionSignature:
     def test_signature_bits(self):

@@ -13,6 +13,9 @@ from repro.sim.units import seconds
 from repro.topology.linear import linear_chain
 from repro.topology.testbed import testbed_network as build_testbed_network
 
+# Heavy end-to-end simulations: excluded from the CI fast lane.
+pytestmark = pytest.mark.slow
+
 
 class TestChainStability:
     def test_ezflow_raises_source_cw_in_unstable_chain(self):

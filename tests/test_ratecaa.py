@@ -16,6 +16,9 @@ from repro.sim.engine import Engine
 from repro.sim.units import seconds
 from repro.topology.linear import linear_chain
 
+# Heavy end-to-end simulations: excluded from the CI fast lane.
+pytestmark = pytest.mark.slow
+
 
 def packet(seq=1):
     return Packet(flow_id="F", seq=seq, src=0, dst=9)

@@ -9,6 +9,9 @@ import pytest
 
 from repro.experiments import fig4, loadsweep, scenario1, scenario2, table2
 
+# Heavy end-to-end simulations: excluded from the CI fast lane.
+pytestmark = pytest.mark.slow
+
 
 class TestScenario1Harness:
     @pytest.fixture(scope="class")
@@ -100,11 +103,12 @@ class TestCli:
         out = capsys.readouterr().out
         assert "Table 4" in out
 
-    def test_cli_unknown_experiment(self):
+    def test_cli_unknown_experiment(self, capsys):
         from repro.experiments.__main__ import main
 
-        with pytest.raises(KeyError):
-            main(["fig99"])
+        code = main(["fig99"])
+        assert code == 2
+        assert "unknown experiment" in capsys.readouterr().err
 
     def test_cli_rejects_bad_kwargs(self, capsys):
         from repro.experiments.__main__ import main

@@ -1,0 +1,43 @@
+"""Tests for the shared, memoised testbed simulations."""
+
+from repro.experiments import testbedlab
+from repro.experiments.testbedlab import clear_cache
+from repro.experiments.testbedlab import testbed_simulation as simulate
+
+
+class TestMemoisation:
+    def setup_method(self):
+        clear_cache()
+
+    def teardown_method(self):
+        clear_cache()
+
+    def test_same_configuration_returns_same_run(self):
+        a = simulate(4, ("F1",), 8.0, False)
+        b = simulate(4, ("F1",), 8.0, False)
+        assert a is b
+
+    def test_different_configurations_do_not_alias(self):
+        a = simulate(4, ("F1",), 8.0, False)
+        b = simulate(4, ("F1",), 8.0, True)
+        c = simulate(4, ("F2",), 8.0, False)
+        assert a is not b and a is not c
+
+    def test_sampler_covers_all_relays(self):
+        run = simulate(4, ("F1",), 8.0, False)
+        for node in testbedlab.RELAY_NODES:
+            assert run.sampler.series_for(node) is not None
+
+    def test_cache_capacity_bounded(self):
+        for seed in range(testbedlab._CACHE_CAP + 3):
+            simulate(seed, ("F1",), 2.0, False)
+        assert len(testbedlab._cache) <= testbedlab._CACHE_CAP
+
+    def test_flow_results_identical_to_fresh_run(self):
+        """A cached network must show the same deliveries a fresh
+        simulation of the same configuration produces."""
+        cached = simulate(4, ("F1",), 8.0, False)
+        delivered = cached.network.flow("F1").delivered
+        clear_cache()
+        fresh = simulate(4, ("F1",), 8.0, False)
+        assert fresh.network.flow("F1").delivered == delivered
