@@ -16,6 +16,7 @@ benchmarks both resolve experiments through :func:`get_experiment`.
 | scenario2 | three-flow topology, Figures 10, 11, Table 3     |
 | stability | Table 4 + Theorem 1 + random-walk contrast       |
 | loadsweep | offered-load sweep ± EZ-flow                     |
+| meshgen   | generated mesh/grid/tree topologies ± baselines  |
 | bidirectional | transport window sweep on the chain          |
 
 Harness modules stay importable directly (``from repro.experiments

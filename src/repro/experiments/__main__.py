@@ -16,6 +16,12 @@ Examples::
         --grid seed=1,2,3 --jobs 4 --out results/
     python -m repro.experiments sweep stability --grid cw=8,8,8,8;16,16,16,16 \\
         --replicates 3 --base-seed 9
+    python -m repro.experiments sweep meshgen --set nodes=16,25 \\
+        --set algorithm=none,ezflow,diffq --jobs 2 --out results/meshgen
+
+``sweep`` accepts ``--set`` as an alias of ``--grid``; scenarios may
+declare default sweep axes (meshgen expands over every topology kind
+unless ``--set topology=...`` pins one).
 
 Legacy spelling (``python -m repro.experiments fig1 --seed 2``) still
 works: a first argument that is not a subcommand is treated as ``run``.
@@ -124,6 +130,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="one grid axis (repeatable); ';' separates sequence values",
     )
     sweep.add_argument(
+        "--set",
+        action="append",
+        metavar="KEY=V1,V2,...",
+        dest="grid_axes",
+        help="alias of --grid (matches the run subcommand's spelling)",
+    )
+    sweep.add_argument(
         "--replicates", type=int, default=1, help="runs per grid point (default 1)"
     )
     sweep.add_argument(
@@ -202,6 +215,9 @@ def cmd_list() -> int:
         for param in spec.params:
             help_text = f"  — {param.help}" if param.help else ""
             print(f"    {param.name} ({param.kind}, default {param.default!r}){help_text}")
+        for name, values in spec.sweep_defaults:
+            rendered = ",".join(str(v) for v in values)
+            print(f"    [sweep default axis] {name}={rendered}")
     return 0
 
 
@@ -230,6 +246,11 @@ def cmd_run(args) -> int:
 def cmd_sweep(args) -> int:
     spec = get_spec(args.experiment)
     grid = _parse_grid(args.grid_axes, spec)
+    # Axes the scenario sweeps by default unless the CLI pinned them
+    # (e.g. meshgen expands over every topology kind).
+    for name, values in spec.sweep_defaults:
+        if name not in grid:
+            grid[name] = list(values)
     requests = grid_requests(
         spec.id, grid, base_seed=args.base_seed, replicates=args.replicates
     )

@@ -78,13 +78,20 @@ class Param:
 
 @dataclass(frozen=True)
 class ScenarioSpec:
-    """A runnable scenario: id, lazy entry point, parameter schema."""
+    """A runnable scenario: id, lazy entry point, parameter schema.
+
+    ``sweep_defaults`` declares grid axes a bare ``sweep`` of this
+    scenario expands by default (e.g. meshgen sweeps all topology kinds
+    unless the CLI pins one). Stored as ((name, (value, ...)), ...) so
+    the spec stays hashable and picklable.
+    """
 
     id: str
     entry: str  # "package.module:function", resolved on demand
     description: str
     params: Tuple[Param, ...] = ()
     aliases: Tuple[str, ...] = ()
+    sweep_defaults: Tuple[Tuple[str, Tuple[object, ...]], ...] = ()
 
     def resolve(self) -> Callable[..., ExperimentResult]:
         """Import and return the entry-point callable."""
@@ -238,6 +245,25 @@ SPECS: Tuple[ScenarioSpec, ...] = (
                 "offered loads (kb/s)",
             ),
         ),
+    ),
+    ScenarioSpec(
+        id="meshgen",
+        entry="repro.experiments.meshgen:run",
+        description="generated-topology family: random mesh / grid / multi-gateway tree",
+        params=(
+            Param("topology", "str", "mesh", "generator kind: mesh | grid | tree"),
+            Param("nodes", "int", 16, "node count"),
+            Param("density", "float", 1.5, "mesh density (~pi*density neighbours/node)"),
+            Param("gateways", "int", 2, "gateway count"),
+            Param("flows", "int", 4, "sampled source->gateway flows"),
+            Param("workload", "str", "cbr", "cbr | onoff | windowed | mixed"),
+            Param("algorithm", "str", "none", "none | ezflow | diffq | penalty"),
+            Param("rate_kbps", "float", 400.0, "per-flow offered load (kb/s)"),
+            _duration(30.0),
+            _warmup(5.0),
+            _seed(11),
+        ),
+        sweep_defaults=(("topology", ("mesh", "grid", "tree")),),
     ),
     ScenarioSpec(
         id="bidirectional",

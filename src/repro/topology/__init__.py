@@ -5,11 +5,22 @@
   two flows and calibrated lossy links (Table 1);
 * ``scenario1`` — two 8-hop flows merging toward a gateway (Figure 5);
 * ``scenario2`` — three flows with a hidden-terminal source (Figure 9);
+* ``meshgen`` — seeded generators for random meshes, grids and
+  multi-gateway trees (validated connected, shortest-path routed);
 * ``builders`` — the shared ``Network`` container and generic helpers.
 """
 
 from repro.topology.builders import Network, build_chain_positions
 from repro.topology.linear import linear_chain
+from repro.topology.meshgen import (
+    MESH_KINDS,
+    MeshGenError,
+    MeshSpec,
+    MeshTopology,
+    build_mesh_network,
+    generate_topology,
+    is_connected,
+)
 from repro.topology.testbed import testbed_network, TESTBED_LINK_RATES_KBPS
 from repro.topology.scenario1 import scenario1_network
 from repro.topology.scenario2 import scenario2_network
@@ -26,4 +37,11 @@ __all__ = [
     "tree_backhaul",
     "tree_positions",
     "leaves_of",
+    "MESH_KINDS",
+    "MeshGenError",
+    "MeshSpec",
+    "MeshTopology",
+    "build_mesh_network",
+    "generate_topology",
+    "is_connected",
 ]

@@ -1,0 +1,321 @@
+"""Generated topologies: random meshes, grids, multi-gateway trees.
+
+The paper evaluates EZ-flow on a handful of hand-built layouts; this
+module manufactures arbitrarily many. Three seeded generator kinds:
+
+* ``mesh`` — uniform random node placement in a square whose side is
+  derived from a *density* knob (expected neighbours per node grows
+  with density). Placement is rejection-resampled until the reception
+  graph under the 250 m / 550 m radii is connected.
+* ``grid`` — a rectangular lattice at chain spacing (200 m), connected
+  by construction: horizontal/vertical neighbours decode each other,
+  diagonals only carrier-sense.
+* ``tree`` — a multi-gateway backhaul forest. Gateways sit on a
+  baseline one spacing apart (so the gateway chain itself is a
+  reception path and the whole graph stays connected); each gateway
+  fans its share of the remaining nodes downward in its own angular
+  sector, with seeded angular jitter.
+
+Every generated layout is validated connected before use (the mesh
+kind resamples, the deterministic kinds assert). ``build_mesh_network``
+wires a full :class:`~repro.topology.builders.Network` with
+shortest-path (BFS) routes installed from every node toward every
+gateway, so any sampled source→gateway flow is routable immediately.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.mac.dcf import DcfConfig
+from repro.phy.connectivity import ConnectivityMap, GeometricConnectivity
+from repro.phy.propagation import Position, RangeModel, distance
+from repro.sim.rng import RngRegistry
+from repro.topology.builders import Network, build_network
+
+MESH_KINDS = ("mesh", "grid", "tree")
+
+#: Chain spacing giving the paper's canonical 2-hop sensing regime.
+DEFAULT_SPACING_M = 200.0
+
+
+class MeshGenError(ValueError):
+    """A generator parameter is invalid or generation failed."""
+
+
+@dataclass(frozen=True)
+class MeshSpec:
+    """Parameters of one generated topology."""
+
+    kind: str = "mesh"
+    nodes: int = 16
+    density: float = 1.5  # mesh only: ~pi*density expected neighbours
+    gateways: int = 2
+    seed: int = 0
+    spacing_m: float = DEFAULT_SPACING_M
+    tx_range_m: float = 250.0
+    sense_range_m: float = 550.0
+    fanout: int = 2  # tree only: children per attach point
+    max_attempts: int = 200  # mesh only: rejection-resampling budget
+
+    def __post_init__(self):
+        if self.kind not in MESH_KINDS:
+            raise MeshGenError(f"unknown topology kind {self.kind!r}; known: {', '.join(MESH_KINDS)}")
+        if self.nodes < 2:
+            raise MeshGenError("a topology needs at least two nodes")
+        if not 1 <= self.gateways < self.nodes:
+            raise MeshGenError("gateways must be in [1, nodes)")
+        if self.density <= 0:
+            raise MeshGenError("density must be positive")
+        if self.fanout < 1:
+            raise MeshGenError("fanout must be >= 1")
+        if self.max_attempts < 1:
+            raise MeshGenError("max_attempts must be >= 1")
+
+
+@dataclass
+class MeshTopology:
+    """A generated, validated layout plus its routing structure.
+
+    ``depths[gw][node]`` is the BFS hop count from ``node`` to gateway
+    ``gw``; ``parents[gw][node]`` the next hop toward it. ``nearest``
+    maps every non-gateway node to its closest gateway (hop count, ties
+    to the lower gateway id).
+    """
+
+    spec: MeshSpec
+    positions: Dict[int, Position]
+    gateways: List[int]
+    attempts: int
+    connectivity: Optional[GeometricConnectivity] = None
+    depths: Dict[int, Dict[int, int]] = field(default_factory=dict)
+    parents: Dict[int, Dict[int, int]] = field(default_factory=dict)
+    nearest: Dict[int, int] = field(default_factory=dict)
+
+    def route_to_gateway(self, node: int, gateway: Optional[int] = None) -> List[int]:
+        """The BFS shortest path ``node -> ... -> gateway``."""
+        gateway = self.nearest[node] if gateway is None else gateway
+        parents = self.parents[gateway]
+        path = [node]
+        while path[-1] != gateway:
+            path.append(parents[path[-1]])
+        return path
+
+
+def is_connected(connectivity: ConnectivityMap) -> bool:
+    """True when the reception graph spans every node."""
+    nodes = sorted(connectivity.nodes())
+    if not nodes:
+        return False
+    seen = {nodes[0]}
+    frontier = deque(seen)
+    while frontier:
+        node = frontier.popleft()
+        for neighbour in connectivity.receivers_of(node):
+            if neighbour not in seen:
+                seen.add(neighbour)
+                frontier.append(neighbour)
+    return len(seen) == len(nodes)
+
+
+def _bfs_tree(connectivity: ConnectivityMap, root: int) -> Tuple[Dict[int, int], Dict[int, int]]:
+    """Hop counts and next-hop-toward-root pointers from every node.
+
+    Neighbours are visited in sorted order so the tree — and therefore
+    every installed route — is a pure function of the layout.
+    """
+    depths = {root: 0}
+    parents: Dict[int, int] = {}
+    frontier = deque([root])
+    while frontier:
+        node = frontier.popleft()
+        for neighbour in sorted(connectivity.receivers_of(node)):
+            if neighbour not in depths:
+                depths[neighbour] = depths[node] + 1
+                parents[neighbour] = node
+                frontier.append(neighbour)
+    return depths, parents
+
+
+def _mesh_positions(
+    spec: MeshSpec, rng: RngRegistry
+) -> Tuple[Dict[int, Position], int, GeometricConnectivity]:
+    """Uniform placement, rejection-resampled until connected.
+
+    The square's side is ``tx_range * sqrt(nodes / density)``: each node
+    then expects ~``pi * density`` reception neighbours, so density ~1.5
+    gives sparse-but-connectable meshes and higher values dense ones.
+    The accepted placement's connectivity map is returned alongside, so
+    callers don't recompute the O(n^2) pairwise ranges.
+    """
+    stream = rng.stream(f"topology.meshgen.{spec.seed}")
+    side = spec.tx_range_m * math.sqrt(spec.nodes / spec.density)
+    ranges = RangeModel(spec.tx_range_m, spec.sense_range_m)
+    for attempt in range(1, spec.max_attempts + 1):
+        positions = {
+            i: (stream.uniform(0.0, side), stream.uniform(0.0, side))
+            for i in range(spec.nodes)
+        }
+        connectivity = GeometricConnectivity(positions, ranges)
+        if is_connected(connectivity):
+            return positions, attempt, connectivity
+    raise MeshGenError(
+        f"no connected placement of {spec.nodes} nodes at density "
+        f"{spec.density} in {spec.max_attempts} attempts (seed {spec.seed})"
+    )
+
+
+def _grid_positions(spec: MeshSpec) -> Dict[int, Position]:
+    """Row-major rectangular lattice, as square as the count allows."""
+    cols = max(1, math.ceil(math.sqrt(spec.nodes)))
+    return {
+        i: ((i % cols) * spec.spacing_m, (i // cols) * spec.spacing_m)
+        for i in range(spec.nodes)
+    }
+
+
+def _tree_positions(spec: MeshSpec, rng: RngRegistry) -> Dict[int, Position]:
+    """Multi-gateway forest: gateway baseline + fanned subtrees.
+
+    Gateways 0..g-1 sit one spacing apart on the x axis (a reception
+    chain). The remaining nodes are attached breadth-first, round-robin
+    across gateways, each subtree fanning downward inside its own
+    angular sector. Jitter rotates a child around its parent, so the
+    parent-child distance stays exactly one spacing — links never break.
+    """
+    stream = rng.stream(f"topology.meshgen.tree.{spec.seed}")
+    positions: Dict[int, Position] = {
+        g: (g * spec.spacing_m, 0.0) for g in range(spec.gateways)
+    }
+    # Per-gateway FIFO of (node, level, sector_lo, sector_hi) attach points.
+    attach: List[deque] = []
+    sector = math.pi / 3.0
+    for g in range(spec.gateways):
+        attach.append(deque([(g, 0, -math.pi / 2 - sector / 2, -math.pi / 2 + sector / 2)]))
+    slots: Dict[int, int] = {g: spec.fanout for g in range(spec.gateways)}
+    next_id = spec.gateways
+    g = 0
+    while next_id < spec.nodes:
+        queue = attach[g % spec.gateways]
+        g += 1
+        parent, level, lo, hi = queue[0]
+        taken = spec.fanout - slots[parent]
+        width = (hi - lo) / spec.fanout
+        angle = lo + (taken + 0.5) * width + stream.uniform(-0.05, 0.05)
+        px, py = positions[parent]
+        child = next_id
+        next_id += 1
+        radius = spec.spacing_m
+        positions[child] = (px + radius * math.cos(angle), py + radius * math.sin(angle))
+        slots[parent] -= 1
+        slots[child] = spec.fanout
+        queue.append((child, level + 1, lo + taken * width, lo + (taken + 1) * width))
+        if slots[parent] == 0:
+            queue.popleft()
+    return positions
+
+
+def _select_gateways(spec: MeshSpec, positions: Dict[int, Position]) -> List[int]:
+    """Gateway node ids, spread across the layout's bounding box.
+
+    The tree kind builds its gateways explicitly (ids 0..g-1); mesh and
+    grid pick the node nearest each of a fixed anchor sequence (corners
+    first, then centre), deduplicated in id order.
+    """
+    if spec.kind == "tree":
+        return list(range(spec.gateways))
+    xs = [p[0] for p in positions.values()]
+    ys = [p[1] for p in positions.values()]
+    lo_x, hi_x, lo_y, hi_y = min(xs), max(xs), min(ys), max(ys)
+    anchors = [
+        (lo_x, lo_y),
+        (hi_x, hi_y),
+        (lo_x, hi_y),
+        (hi_x, lo_y),
+        ((lo_x + hi_x) / 2, (lo_y + hi_y) / 2),
+    ]
+    if spec.gateways > len(anchors):
+        raise MeshGenError(f"at most {len(anchors)} gateways supported, got {spec.gateways}")
+    chosen: List[int] = []
+    for anchor in anchors[: spec.gateways]:
+        best = min(
+            (node for node in sorted(positions) if node not in chosen),
+            key=lambda node: (distance(positions[node], anchor), node),
+        )
+        chosen.append(best)
+    return chosen
+
+
+def generate_topology(spec: MeshSpec) -> MeshTopology:
+    """Generate, validate and annotate one layout (no simulation yet)."""
+    rng = RngRegistry(spec.seed)
+    attempts = 1
+    if spec.kind == "mesh":
+        # The mesh sampler already validated the accepted placement.
+        positions, attempts, connectivity = _mesh_positions(spec, rng)
+    else:
+        if spec.kind == "grid":
+            positions = _grid_positions(spec)
+        else:
+            positions = _tree_positions(spec, rng)
+        ranges = RangeModel(spec.tx_range_m, spec.sense_range_m)
+        connectivity = GeometricConnectivity(positions, ranges)
+        if not is_connected(connectivity):
+            raise MeshGenError(f"generated {spec.kind} topology is not connected")
+    topology = MeshTopology(
+        spec=spec,
+        positions=positions,
+        gateways=_select_gateways(spec, positions),
+        attempts=attempts,
+        connectivity=connectivity,
+    )
+    for gateway in topology.gateways:
+        depths, parents = _bfs_tree(connectivity, gateway)
+        topology.depths[gateway] = depths
+        topology.parents[gateway] = parents
+    for node in sorted(positions):
+        if node in topology.gateways:
+            continue
+        topology.nearest[node] = min(
+            topology.gateways, key=lambda gw: (topology.depths[gw][node], gw)
+        )
+    return topology
+
+
+def build_mesh_network(
+    spec: MeshSpec, mac_config: Optional[DcfConfig] = None
+) -> Tuple[Network, MeshTopology]:
+    """Instantiate a fully wired :class:`Network` for a generated layout.
+
+    Shortest-path next hops toward every gateway are installed for every
+    node, straight from the per-gateway BFS trees (all entries of one
+    destination come from one tree, so tables are loop-free by
+    construction). Traffic attachment is the workload layer's job —
+    see :mod:`repro.traffic.workloads`.
+    """
+    topology = generate_topology(spec)
+    network = build_network(
+        topology.connectivity,
+        seed=spec.seed,
+        mac_config=mac_config,
+        description=(
+            f"generated {spec.kind}: {spec.nodes} nodes, "
+            f"{len(topology.gateways)} gateway(s), seed {spec.seed}"
+        ),
+    )
+    for gateway in topology.gateways:
+        parents = topology.parents[gateway]
+        for node in sorted(parents):
+            network.routing.set_next_hop(node, gateway, parents[node])
+    return network, topology
+
+
+def mean_degree(connectivity: ConnectivityMap) -> float:
+    """Average reception-neighbour count over all nodes."""
+    nodes = connectivity.nodes()
+    if not nodes:
+        return 0.0
+    return sum(len(connectivity.receivers_of(n)) for n in nodes) / len(nodes)

@@ -1,6 +1,22 @@
-"""Traffic generation: CBR (the paper's workload), Poisson, on/off bursts."""
+"""Traffic generation: CBR (the paper's workload), Poisson, on/off
+bursts, and declarative workload mixes over arbitrary flow sets."""
 
 from repro.traffic.onoff import OnOffSource
 from repro.traffic.sources import CbrSource, PoissonSource, SaturatedSource
+from repro.traffic.workloads import (
+    WORKLOAD_KINDS,
+    AttachedFlow,
+    WorkloadSpec,
+    attach_workload,
+)
 
-__all__ = ["CbrSource", "PoissonSource", "SaturatedSource", "OnOffSource"]
+__all__ = [
+    "CbrSource",
+    "PoissonSource",
+    "SaturatedSource",
+    "OnOffSource",
+    "WORKLOAD_KINDS",
+    "AttachedFlow",
+    "WorkloadSpec",
+    "attach_workload",
+]

@@ -41,13 +41,19 @@ class OnOffSource(_SourceBase):
         self.mean_off_us = seconds(mean_off_s)
         self.rng = rng.stream(f"traffic.onoff.{flow.flow_id}")
         self._on = True
-        self._phase_ends_at = 0
+        # The first on-period is sampled lazily on the first tick: a
+        # phase end of 0 would make that tick toggle straight to OFF and
+        # silence the source for ~mean_off_s, despite bursts starting on.
+        self._phase_ends_at: int | None = None
 
     def _tick(self) -> None:
         now = self.engine.now
         if self.flow.stop_us is not None and now >= self.flow.stop_us:
             return
-        if now >= self._phase_ends_at:
+        if self._phase_ends_at is None:
+            mean = self.mean_on_us
+            self._phase_ends_at = now + max(1, int(self.rng.expovariate(1.0 / mean)))
+        elif now >= self._phase_ends_at:
             self._on = not self._on
             mean = self.mean_on_us if self._on else self.mean_off_us
             self._phase_ends_at = now + max(1, int(self.rng.expovariate(1.0 / mean)))

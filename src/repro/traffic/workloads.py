@@ -1,0 +1,134 @@
+"""Workload layer: declarative traffic mixes over arbitrary flows.
+
+Topology modules wire networks; this module populates them with
+traffic. A :class:`WorkloadSpec` names a workload kind and its knobs;
+:func:`attach_workload` instantiates the matching sources (or windowed
+transports) for a list of (source, destination) endpoints, registering
+flows and reverse routes as needed. The generated-topology experiment
+family (:mod:`repro.experiments.meshgen`) drives all of its scenarios
+through this layer, so every workload kind is exercised on every
+generator kind.
+
+Kinds:
+
+* ``cbr`` — constant bit rate at ``rate_bps`` (the paper's workload);
+* ``onoff`` — exponential on/off bursts of CBR at ``rate_bps``
+  (in-burst rate; the long-run average is ``rate_bps * on/(on+off)``);
+* ``windowed`` — the go-back-N reliable transport, data forward and
+  cumulative ACKs backward over the reversed route (the bidirectional
+  regime);
+* ``mixed`` — cycles cbr, onoff, windowed across the endpoint list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, List, Sequence, Tuple
+
+from repro.net.flow import Flow
+from repro.sim.units import seconds
+from repro.topology.builders import Network
+from repro.traffic.onoff import OnOffSource
+from repro.traffic.sources import CbrSource
+from repro.transport import TransportConfig, WindowedSender, install_reverse_routes
+
+WORKLOAD_KINDS = ("cbr", "onoff", "windowed", "mixed")
+
+_MIX_CYCLE = ("cbr", "onoff", "windowed")
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One workload recipe, applied per endpoint by :func:`attach_workload`."""
+
+    kind: str = "cbr"
+    rate_bps: float = 250_000.0
+    packet_bytes: int = 1000
+    mean_on_s: float = 4.0
+    mean_off_s: float = 2.0
+    window: int = 8
+    ack_every: int = 2
+    start_s: float = 0.0
+
+    def __post_init__(self):
+        if self.kind not in WORKLOAD_KINDS:
+            raise ValueError(
+                f"unknown workload kind {self.kind!r}; known: {', '.join(WORKLOAD_KINDS)}"
+            )
+        if self.rate_bps <= 0:
+            raise ValueError("rate must be positive")
+
+    def kind_for(self, index: int) -> str:
+        """The concrete kind of endpoint ``index`` (resolves ``mixed``)."""
+        if self.kind == "mixed":
+            return _MIX_CYCLE[index % len(_MIX_CYCLE)]
+        return self.kind
+
+
+@dataclass
+class AttachedFlow:
+    """One attached endpoint: its flow, kind, and driving object."""
+
+    flow: Flow
+    kind: str
+    driver: object  # CbrSource | OnOffSource | WindowedSender
+
+
+def attach_workload(
+    network: Network,
+    endpoints: Sequence[Tuple[Hashable, Hashable]],
+    spec: WorkloadSpec,
+    flow_prefix: str = "W",
+) -> List[AttachedFlow]:
+    """Create one flow + driver per (src, dst) endpoint.
+
+    Flows are named ``<prefix><index>`` in endpoint order; every driver
+    is appended to ``network.sources`` so ``network.run`` starts it.
+    Forward routes must already be installed (topology builders do
+    this); the windowed kind additionally installs the reverse route
+    for its ACK stream by reversing the materialised forward path.
+    """
+    attached: List[AttachedFlow] = []
+    for index, (src, dst) in enumerate(endpoints):
+        kind = spec.kind_for(index)
+        flow = Flow(
+            f"{flow_prefix}{index}", src=src, dst=dst, start_us=seconds(spec.start_s)
+        )
+        network.flows[flow.flow_id] = flow
+        network.nodes[dst].register_flow(flow)
+        if kind == "cbr":
+            driver: object = CbrSource(
+                network.engine,
+                network.nodes[src],
+                flow,
+                rate_bps=spec.rate_bps,
+                packet_bytes=spec.packet_bytes,
+            )
+        elif kind == "onoff":
+            driver = OnOffSource(
+                network.engine,
+                network.nodes[src],
+                flow,
+                rate_bps=spec.rate_bps,
+                rng=network.rng,
+                mean_on_s=spec.mean_on_s,
+                mean_off_s=spec.mean_off_s,
+                packet_bytes=spec.packet_bytes,
+            )
+        else:
+            forward_path = network.routing.path(src, dst)
+            install_reverse_routes(network.routing, forward_path)
+            driver = WindowedSender(
+                network.engine,
+                network.nodes[src],
+                network.nodes[dst],
+                flow,
+                TransportConfig(
+                    window=spec.window,
+                    data_bytes=spec.packet_bytes,
+                    ack_every=spec.ack_every,
+                ),
+            )
+        network.sources.append(driver)
+        attached.append(AttachedFlow(flow=flow, kind=kind, driver=driver))
+    return attached

@@ -30,12 +30,23 @@ ACK_BYTES = 40
 
 @dataclass
 class TransportConfig:
-    """Window transport parameters."""
+    """Window transport parameters.
+
+    ``delayed_ack_s`` bounds how long the receiver may hold a partial
+    ACK group (``ack_every > 1``) before flushing it — without it the
+    final partial group of a transfer is never acknowledged and the
+    sender only finishes after a full go-back-N timeout. It must stay
+    well below ``retransmit_timeout_s`` for the flush to preempt
+    pointless retransmissions. ``total_packets`` makes the transfer
+    finite (None = stream until the flow's stop time).
+    """
 
     window: int = 8
     data_bytes: int = 1000
     retransmit_timeout_s: float = 2.0
     ack_every: int = 1
+    delayed_ack_s: float = 0.2
+    total_packets: Optional[int] = None
 
     def __post_init__(self):
         if self.window < 1:
@@ -44,6 +55,12 @@ class TransportConfig:
             raise ValueError("ack_every must be >= 1")
         if self.retransmit_timeout_s <= 0:
             raise ValueError("timeout must be positive")
+        if self.delayed_ack_s <= 0:
+            raise ValueError("delayed-ACK flush timeout must be positive")
+        if self.delayed_ack_s >= self.retransmit_timeout_s:
+            raise ValueError("delayed-ACK flush must beat the retransmit timeout")
+        if self.total_packets is not None and self.total_packets < 1:
+            raise ValueError("total_packets must be >= 1 (or None)")
 
 
 def install_reverse_routes(routing: StaticRouting, path: List[Hashable]) -> None:
@@ -83,6 +100,7 @@ class WindowedSender:
         # Receiver state.
         self._expected = 1
         self._since_last_ack = 0
+        self._ack_timer: Optional[Event] = None
         destination.delivered_callbacks.append(self._on_data_delivered)
         source.delivered_callbacks.append(self._on_ack_delivered)
         self._ack_flow = Flow(f"{flow.flow_id}.ack", src=destination.node_id, dst=source.node_id)
@@ -95,10 +113,21 @@ class WindowedSender:
         self.engine.schedule(max(0, self.flow.start_us - self.engine.now), self._fill)
 
     def _fill(self) -> None:
-        """Send as much as the window allows."""
+        """Send as much as the window (and the transfer size) allows.
+
+        The retransmit timer is only (re)armed on progress — a new data
+        packet entering the window — or when unacknowledged data has no
+        timer at all. ACKs that open no send opportunity must not push
+        an armed timer, or a trickle of them postpones go-back-N
+        recovery indefinitely.
+        """
+        sent = False
+        limit = self.config.total_packets
         while self.next_seq < self.base + self.config.window:
+            if limit is not None and self.next_seq > limit:
+                break
             if self.flow.stop_us is not None and self.engine.now >= self.flow.stop_us:
-                return
+                break
             self.flow.note_generated()
             packet = Packet(
                 flow_id=self.flow.flow_id,
@@ -110,7 +139,14 @@ class WindowedSender:
             )
             self.source.send(packet)
             self.next_seq += 1
-        self._arm_timer()
+            sent = True
+        if self.base >= self.next_seq:
+            # Nothing outstanding: a pending timeout would be a no-op.
+            if self._timer is not None:
+                self._timer.cancel()
+                self._timer = None
+        elif sent or self._timer is None:
+            self._arm_timer()
 
     def _arm_timer(self) -> None:
         if self._timer is not None:
@@ -158,11 +194,26 @@ class WindowedSender:
             self._since_last_ack += 1
             if self._since_last_ack >= self.config.ack_every:
                 self._send_ack()
+            elif self._ack_timer is None:
+                # Partial group: flush it after a bounded delay so the
+                # tail of a transfer completes without waiting out a
+                # go-back-N timeout and its retransmissions.
+                self._ack_timer = self.engine.schedule(
+                    seconds(self.config.delayed_ack_s), self._flush_ack
+                )
         elif packet.seq < self._expected:
             # Duplicate (go-back-N retransmission): re-ACK cumulatively.
             self._send_ack()
 
+    def _flush_ack(self) -> None:
+        self._ack_timer = None
+        if self._since_last_ack > 0:
+            self._send_ack()
+
     def _send_ack(self) -> None:
+        if self._ack_timer is not None:
+            self._ack_timer.cancel()
+            self._ack_timer = None
         self._since_last_ack = 0
         ack = Packet(
             flow_id=self._ack_flow.flow_id,
@@ -179,3 +230,9 @@ class WindowedSender:
     @property
     def delivered_in_order(self) -> int:
         return self._expected - 1
+
+    @property
+    def complete(self) -> bool:
+        """True when a finite transfer is fully acknowledged."""
+        limit = self.config.total_packets
+        return limit is not None and self.base > limit

@@ -1,0 +1,304 @@
+"""Tests for the generated-topology subsystem (meshgen + workloads)."""
+
+import filecmp
+import json
+import os
+from collections import deque
+
+import pytest
+
+from repro.experiments.export import export_records
+from repro.experiments.runner import SweepRunner, grid_requests
+from repro.experiments.specs import get_spec
+from repro.phy.connectivity import GeometricConnectivity
+from repro.phy.propagation import RangeModel, distance
+from repro.sim.units import seconds
+from repro.topology.meshgen import (
+    MESH_KINDS,
+    MeshGenError,
+    MeshSpec,
+    MeshTopology,
+    build_mesh_network,
+    generate_topology,
+    is_connected,
+    mean_degree,
+)
+from repro.traffic.workloads import WorkloadSpec, attach_workload
+
+
+def independently_connected(positions, tx_range_m=250.0):
+    """Reference BFS over raw positions (no ConnectivityMap involved)."""
+    ids = sorted(positions)
+    seen = {ids[0]}
+    frontier = deque(seen)
+    while frontier:
+        node = frontier.popleft()
+        for other in ids:
+            if other not in seen and distance(positions[node], positions[other]) <= tx_range_m:
+                seen.add(other)
+                frontier.append(other)
+    return len(seen) == len(ids)
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("kind", MESH_KINDS)
+    def test_connected_across_seed_sweep(self, kind):
+        """Every generated graph must be connected, for every kind and
+        a sweep of seeds — checked against an independent BFS."""
+        for seed in range(25):
+            topology = generate_topology(MeshSpec(kind=kind, nodes=12, seed=seed))
+            assert len(topology.positions) == 12
+            assert independently_connected(topology.positions), (kind, seed)
+
+    @pytest.mark.parametrize("kind", MESH_KINDS)
+    def test_deterministic_positions(self, kind):
+        spec = MeshSpec(kind=kind, nodes=14, seed=7)
+        first = generate_topology(spec)
+        second = generate_topology(spec)
+        assert first.positions == second.positions
+        assert first.gateways == second.gateways
+        assert first.attempts == second.attempts
+
+    def test_seeds_give_distinct_meshes(self):
+        a = generate_topology(MeshSpec(kind="mesh", nodes=12, seed=1))
+        b = generate_topology(MeshSpec(kind="mesh", nodes=12, seed=2))
+        assert a.positions != b.positions
+
+    def test_mesh_rejection_resampling_reports_attempts(self):
+        """Sparse meshes need resampling for some seed; the attempt
+        count must be recorded so exports can audit generation cost."""
+        attempts = [
+            generate_topology(MeshSpec(kind="mesh", nodes=16, seed=seed)).attempts
+            for seed in range(10)
+        ]
+        assert all(a >= 1 for a in attempts)
+        assert any(a > 1 for a in attempts)
+
+    def test_impossible_density_raises(self):
+        with pytest.raises(MeshGenError):
+            generate_topology(
+                MeshSpec(kind="mesh", nodes=30, density=0.05, seed=0, max_attempts=3)
+            )
+
+    def test_grid_is_lattice(self):
+        topology = generate_topology(MeshSpec(kind="grid", nodes=9, seed=0))
+        xs = sorted({p[0] for p in topology.positions.values()})
+        ys = sorted({p[1] for p in topology.positions.values()})
+        assert xs == [0.0, 200.0, 400.0]
+        assert ys == [0.0, 200.0, 400.0]
+
+    def test_tree_parent_links_within_reception(self):
+        spec = MeshSpec(kind="tree", nodes=15, gateways=3, seed=4)
+        topology = generate_topology(spec)
+        assert topology.gateways == [0, 1, 2]
+        connectivity = GeometricConnectivity(topology.positions, RangeModel())
+        # Jitter rotates children around parents, so every routed hop
+        # still decodes.
+        for node in topology.positions:
+            if node in topology.gateways:
+                continue
+            path = topology.route_to_gateway(node)
+            for here, nxt in zip(path, path[1:]):
+                assert connectivity.can_receive(nxt, here)
+
+    def test_spec_validation(self):
+        with pytest.raises(MeshGenError):
+            MeshSpec(kind="torus")
+        with pytest.raises(MeshGenError):
+            MeshSpec(nodes=1)
+        with pytest.raises(MeshGenError):
+            MeshSpec(nodes=4, gateways=4)
+        with pytest.raises(MeshGenError):
+            MeshSpec(density=0)
+
+    def test_is_connected_detects_partition(self):
+        positions = {0: (0.0, 0.0), 1: (100.0, 0.0), 2: (5000.0, 0.0)}
+        assert not is_connected(GeometricConnectivity(positions, RangeModel()))
+        assert mean_degree(GeometricConnectivity(positions, RangeModel())) > 0
+
+
+class TestRouting:
+    @pytest.mark.parametrize("kind", MESH_KINDS)
+    def test_every_node_routes_to_every_gateway(self, kind):
+        network, topology = build_mesh_network(MeshSpec(kind=kind, nodes=16, seed=3))
+        for gateway in topology.gateways:
+            for node in topology.positions:
+                if node == gateway:
+                    continue
+                path = network.routing.path(node, gateway)
+                assert path[0] == node and path[-1] == gateway
+                assert len(path) - 1 == topology.depths[gateway][node]
+
+    def test_routes_are_shortest_paths(self):
+        network, topology = build_mesh_network(MeshSpec(kind="mesh", nodes=16, seed=3))
+        connectivity = network.connectivity
+        # BFS depth equality is checked above; also verify hop-by-hop
+        # monotonicity: every next hop is strictly closer to the root.
+        for gateway in topology.gateways:
+            depths = topology.depths[gateway]
+            for node, parent in topology.parents[gateway].items():
+                assert depths[parent] == depths[node] - 1
+                assert connectivity.can_receive(parent, node)
+
+    def test_nearest_gateway_assignment(self):
+        _, topology = build_mesh_network(MeshSpec(kind="grid", nodes=16, seed=0))
+        for node, gateway in topology.nearest.items():
+            best = min(topology.depths[gw][node] for gw in topology.gateways)
+            assert topology.depths[gateway][node] == best
+
+
+class TestWorkloads:
+    def build(self, kind):
+        network, topology = build_mesh_network(MeshSpec(kind="grid", nodes=9, seed=0))
+        sources = [n for n in sorted(topology.nearest) if n not in topology.gateways][:2]
+        endpoints = [(src, topology.nearest[src]) for src in sources]
+        attached = attach_workload(
+            network, endpoints, WorkloadSpec(kind=kind, rate_bps=150_000.0)
+        )
+        return network, attached
+
+    @pytest.mark.parametrize("kind", ["cbr", "onoff", "windowed", "mixed"])
+    def test_all_kinds_deliver(self, kind):
+        network, attached = self.build(kind)
+        network.run(until_us=seconds(10))
+        for item in attached:
+            assert item.flow.generated > 0, item.kind
+            assert item.flow.delivered > 0, item.kind
+
+    def test_mixed_cycles_kinds(self):
+        _, attached = self.build("mixed")
+        assert [item.kind for item in attached] == ["cbr", "onoff"]
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(kind="torrent")
+
+    def test_windowed_reverse_route_installed(self):
+        network, attached = self.build("windowed")
+        item = attached[0]
+        assert network.routing.has_route(item.flow.dst, item.flow.src)
+
+
+class TestMeshgenExperiment:
+    def test_registered_with_sweep_defaults(self):
+        spec = get_spec("meshgen")
+        assert dict(spec.sweep_defaults)["topology"] == ("mesh", "grid", "tree")
+        assert "algorithm" in spec.param_names()
+
+    def test_unknown_algorithm_rejected(self):
+        from repro.experiments import meshgen
+
+        with pytest.raises(ValueError):
+            meshgen.run(algorithm="tcp", duration_s=1.0)
+
+    def test_tables_and_series_shape(self):
+        from repro.experiments import meshgen
+
+        result = meshgen.run(
+            nodes=9, topology="grid", flows=2, duration_s=5.0, warmup_s=1.0
+        )
+        summary = result.find_table("Summary").rows[0]
+        jain, aggregate, ratio, backlog = summary
+        assert 0.0 < jain <= 1.0
+        assert aggregate > 0.0
+        assert 0.0 < ratio <= 1.0
+        ring_table = result.find_table("Queue occupancy by hop")
+        assert ring_table.rows[0][0] == 0  # gateways form ring 0
+        assert sum(row[1] for row in ring_table.rows) == 9
+        assert any(name.startswith("occupancy.hop") for name in result.series)
+
+    def test_connected_is_exported(self):
+        from repro.experiments import meshgen
+
+        result = meshgen.run(
+            nodes=9, topology="mesh", flows=2, duration_s=2.0, warmup_s=0.5
+        )
+        shape = result.find_table("Topology").rows[0]
+        assert shape[-1] == "yes"
+
+
+class TestMeshgenDeterminism:
+    GRID = {
+        "nodes": [9],
+        "topology": ["mesh", "grid"],
+        "algorithm": ["none", "ezflow"],
+        "flows": [2],
+        "duration_s": [3.0],
+        "warmup_s": [1.0],
+    }
+
+    def test_parallel_and_serial_exports_byte_identical(self, tmp_path):
+        """The acceptance guarantee: same (seed, params) exports the
+        same bytes whatever the worker count."""
+        requests = grid_requests("meshgen", self.GRID)
+        assert len(requests) == 4
+        serial_dir, parallel_dir = tmp_path / "serial", tmp_path / "parallel"
+        os.makedirs(serial_dir)
+        os.makedirs(parallel_dir)
+        export_records(SweepRunner(jobs=1).run(requests), str(serial_dir))
+        export_records(SweepRunner(jobs=2).run(requests), str(parallel_dir))
+
+        def assert_identical(cmp):
+            assert not cmp.left_only and not cmp.right_only
+            assert not cmp.diff_files, cmp.diff_files
+            for name in cmp.common_files:
+                left = os.path.join(cmp.left, name)
+                right = os.path.join(cmp.right, name)
+                assert filecmp.cmp(left, right, shallow=False), name
+            for sub in cmp.subdirs.values():
+                assert_identical(sub)
+
+        assert_identical(filecmp.dircmp(str(serial_dir), str(parallel_dir)))
+        with open(os.path.join(str(serial_dir), "manifest.json")) as handle:
+            manifest = json.load(handle)
+        assert manifest["experiments"] == ["meshgen"]
+        assert len(manifest["runs"]) == 4
+
+    def test_cli_sweep_expands_default_topology_axis(self, tmp_path, capsys):
+        from repro.experiments.__main__ import main
+
+        code = main(
+            [
+                "sweep",
+                "meshgen",
+                "--set",
+                "nodes=9",
+                "--set",
+                "flows=2",
+                "--set",
+                "duration_s=2",
+                "--set",
+                "warmup_s=0.5",
+                "--out",
+                str(tmp_path),
+            ]
+        )
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "3 run(s)" in err  # mesh, grid, tree from the default axis
+        with open(os.path.join(str(tmp_path), "manifest.json")) as handle:
+            manifest = json.load(handle)
+        kinds = sorted(run["kwargs"]["topology"] for run in manifest["runs"])
+        assert kinds == ["grid", "mesh", "tree"]
+
+    def test_cli_pinned_topology_wins_over_default_axis(self, capsys):
+        from repro.experiments.__main__ import main
+
+        code = main(
+            [
+                "sweep",
+                "meshgen",
+                "--set",
+                "topology=grid",
+                "--set",
+                "nodes=9",
+                "--set",
+                "flows=2",
+                "--set",
+                "duration_s=1",
+                "--set",
+                "warmup_s=0.2",
+            ]
+        )
+        assert code == 0
+        assert "1 run(s)" in capsys.readouterr().err

@@ -9,7 +9,7 @@ from repro.topology.linear import linear_chain
 from repro.transport import TransportConfig, WindowedSender, install_reverse_routes
 
 
-def build(hops=4, seed=3, window=8, ack_every=1, timeout_s=2.0):
+def build(hops=4, seed=3, window=8, ack_every=1, timeout_s=2.0, total_packets=None):
     network = linear_chain(hops=hops, seed=seed, saturated=False, rate_bps=1000)
     network.sources.clear()  # replace the CBR source with the transport
     path = list(range(hops + 1))
@@ -22,7 +22,12 @@ def build(hops=4, seed=3, window=8, ack_every=1, timeout_s=2.0):
         network.nodes[0],
         network.nodes[hops],
         flow,
-        TransportConfig(window=window, ack_every=ack_every, retransmit_timeout_s=timeout_s),
+        TransportConfig(
+            window=window,
+            ack_every=ack_every,
+            retransmit_timeout_s=timeout_s,
+            total_packets=total_packets,
+        ),
     )
     return network, flow, sender
 
@@ -116,6 +121,82 @@ class TestWindowBehaviour:
         # Roughly one ACK per four data packets.
         ratio = sender.delivered_in_order / max(1, sender.acks_received)
         assert ratio > 2.0
+
+
+class TestTailAckFlush:
+    def test_odd_transfer_completes_without_retransmissions(self):
+        """Regression: with ack_every=2 and an odd packet count, the
+        final in-order packet formed a partial ACK group that was never
+        acknowledged — the transfer only 'finished' after a go-back-N
+        timeout retransmitted it pointlessly."""
+        network, flow, sender = build(window=4, ack_every=2, total_packets=7)
+        sender.start()
+        network.engine.run(until=seconds(30))
+        assert sender.delivered_in_order == 7
+        assert sender.complete
+        assert sender.retransmissions == 0
+
+    def test_flush_preempts_timeout(self):
+        """The tail ACK must arrive on the delayed-ack clock, not the
+        retransmit clock: well before timeout the sender is done."""
+        network, flow, sender = build(window=4, ack_every=4, total_packets=5, timeout_s=5.0)
+        sender.start()
+        network.engine.run(until=seconds(2))  # << retransmit_timeout_s
+        assert sender.complete
+        assert sender.retransmissions == 0
+
+    def test_delayed_ack_config_validated(self):
+        with pytest.raises(ValueError):
+            TransportConfig(delayed_ack_s=0)
+        with pytest.raises(ValueError):
+            TransportConfig(delayed_ack_s=3.0, retransmit_timeout_s=2.0)
+        with pytest.raises(ValueError):
+            TransportConfig(total_packets=0)
+
+
+class TestTimerOnlyOnProgress:
+    def ack(self, sender, seq):
+        from repro.net.packet import Packet
+        from repro.transport.window import ACK_BYTES
+
+        return Packet(
+            flow_id=sender._ack_flow.flow_id,
+            seq=seq,
+            src=sender.destination.node_id,
+            dst=sender.source.node_id,
+            size_bytes=ACK_BYTES,
+            created_at=sender.engine.now,
+        )
+
+    def test_ack_without_send_opportunity_leaves_timer_alone(self):
+        """Regression: _fill re-armed the retransmit timer even when no
+        new packet was sent, so a trickle of ACKs that opened no send
+        opportunity postponed go-back-N recovery forever."""
+        network, flow, sender = build(window=2, total_packets=3)
+        sender._fill()  # sends seq 1, 2 and arms the timer
+        timer = sender._timer
+        assert timer is not None
+        # ACK for seq 1: window slides, seq 3 goes out -> progress,
+        # the timer is legitimately reset.
+        sender._on_ack_delivered(self.ack(sender, 1), network.engine.now)
+        assert sender.next_seq == 4
+        progressed = sender._timer
+        assert progressed is not timer
+        # ACK for seq 2: transfer limit reached, nothing new to send,
+        # seq 3 still outstanding -> the armed timer must NOT be pushed.
+        sender._on_ack_delivered(self.ack(sender, 2), network.engine.now)
+        assert sender._timer is progressed
+        # Stale cumulative ACK: ignored entirely.
+        sender._on_ack_delivered(self.ack(sender, 1), network.engine.now)
+        assert sender._timer is progressed
+
+    def test_timer_cancelled_when_all_acked(self):
+        network, flow, sender = build(window=2, total_packets=2)
+        sender._fill()
+        assert sender._timer is not None
+        sender._on_ack_delivered(self.ack(sender, 2), network.engine.now)
+        assert sender._timer is None
+        assert sender.complete
 
 
 class TestBidirectionalWithEzflow:

@@ -106,6 +106,28 @@ class TestOnOffSource:
                 network.engine, network.nodes[0], flow, 1000.0, network.rng, mean_on_s=0
             )
 
+    def test_first_burst_starts_on(self):
+        """Regression: the source used to toggle OFF on its very first
+        tick (phase end initialised to 0), staying silent for roughly
+        mean_off_s despite the docs promising bursts start on."""
+        network, flow = self.make_network()
+        source = OnOffSource(
+            network.engine,
+            network.nodes[0],
+            flow,
+            rate_bps=200_000.0,
+            rng=network.rng,
+            mean_on_s=50.0,
+            mean_off_s=10_000.0,  # any OFF start would silence the run
+        )
+        source.start()
+        network.engine.run(until=seconds(2))
+        assert source.is_on
+        assert flow.generated > 0
+        # At 200 kb/s and 1000-byte packets the first 2 s of an ON
+        # period carry ~50 packets; allow generous slack for phase ends.
+        assert flow.generated > 20
+
     def test_deterministic(self):
         counts = []
         for _ in range(2):
