@@ -1,0 +1,289 @@
+"""Persistent benchmark suite: the repo's measured performance trajectory.
+
+``python -m repro.bench`` runs a *declared* suite of cases — engine
+dispatch micro-benchmarks, wall time of every canned paper figure, and a
+meshgen scaling curve at 16/25/49/100 nodes — and emits a sorted-keys
+JSON report (events/s and wall seconds per case). Reports are committed
+as ``BENCH_<tag>.json`` baselines; ``--compare old.json`` renders a
+delta table against any previous report, so speed is a regression-tested
+property of the repo rather than a claim in a commit message.
+
+Cross-machine comparisons are normalised by the engine-dispatch
+micro-benchmark (a hardware speed index): a case only counts as a
+regression if it got slower *relative to raw dispatch throughput* on the
+same machine, which makes a ~30 % CI tolerance meaningful even when the
+baseline was recorded on different hardware.
+
+Case names are stable identifiers; a case is only comparable across two
+reports when both its name and its kwargs match.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.bench.micro import MICRO_CASES
+
+SCHEMA = "repro.bench/1"
+
+#: The hardware speed index case used to normalise cross-machine deltas.
+INDEX_CASE = "micro.engine_post_dispatch"
+
+
+@dataclass(frozen=True)
+class BenchCase:
+    """One declared benchmark case.
+
+    ``kind`` is ``micro`` (a function from :mod:`repro.bench.micro`) or
+    ``scenario`` (an experiment id from the scenario catalogue run with
+    explicit kwargs). ``quick`` cases form the CI subset; the full suite
+    runs everything.
+    """
+
+    name: str
+    kind: str  # "micro" | "scenario"
+    target: str  # micro case name or scenario spec id
+    kwargs: Tuple[Tuple[str, object], ...] = ()
+    quick: bool = False
+    repeat: int = 1
+
+    @property
+    def kwargs_dict(self) -> Dict[str, object]:
+        return dict(self.kwargs)
+
+
+def _kw(**kwargs) -> Tuple[Tuple[str, object], ...]:
+    return tuple(sorted(kwargs.items()))
+
+
+def build_suite() -> List[BenchCase]:
+    """The declared suite, in execution order (micro, figures, meshgen)."""
+    cases: List[BenchCase] = []
+    for name, (_, kwargs) in MICRO_CASES.items():
+        cases.append(
+            BenchCase(name, "micro", name, _kw(**kwargs), quick=True, repeat=3)
+        )
+    # Every canned paper experiment at its default parameters: the
+    # per-figure wall-time trajectory.
+    for spec_id in (
+        "fig1",
+        "table1",
+        "fig4",
+        "table2",
+        "scenario1",
+        "scenario2",
+        "stability",
+        "loadsweep",
+        "bidirectional",
+    ):
+        cases.append(BenchCase(f"figure.{spec_id}", "scenario", spec_id))
+    # A short canned figure for the CI quick lane.
+    cases.append(
+        BenchCase(
+            "figure.fig1.short",
+            "scenario",
+            "fig1",
+            _kw(duration_s=60.0, warmup_s=10.0),
+            quick=True,
+        )
+    )
+    # Meshgen scaling curve: random geometric meshes at growing node
+    # counts, default workload/algorithm. Density 1.5 keeps ~4.7
+    # expected neighbours; at 100 nodes that is below the connectivity
+    # threshold (~ln n), so the 100-node point runs at density 2.5.
+    for nodes, density in ((16, 1.5), (25, 1.5), (49, 1.5), (100, 2.5)):
+        cases.append(
+            BenchCase(
+                f"meshgen.n{nodes}",
+                "scenario",
+                "meshgen",
+                _kw(nodes=nodes, density=density),
+                repeat=2,
+            )
+        )
+    # Short meshgen points for the CI quick lane.
+    for nodes, density in ((16, 1.5), (49, 1.5)):
+        cases.append(
+            BenchCase(
+                f"meshgen.quick.n{nodes}",
+                "scenario",
+                "meshgen",
+                _kw(nodes=nodes, density=density, duration_s=8.0, warmup_s=2.0),
+                quick=True,
+                repeat=2,
+            )
+        )
+    return cases
+
+
+def run_case(case: BenchCase, repeat: Optional[int] = None) -> Dict[str, object]:
+    """Execute one case; returns its report entry (best wall of N runs).
+
+    Measurement hygiene: the shared testbed-run memoisation cache is
+    dropped and a full garbage collection runs before every round, so a
+    case's wall time does not depend on which cases ran before it.
+    """
+    import gc
+
+    from repro.experiments import testbedlab
+
+    rounds = max(1, repeat if repeat is not None else case.repeat)
+    best_wall = None
+    events: Optional[float] = None
+    sim_ticks: Optional[float] = None
+    for _ in range(rounds):
+        testbedlab.clear_cache()
+        gc.collect()
+        if case.kind == "micro":
+            fn, _defaults = MICRO_CASES[case.target]
+            started = time.perf_counter()
+            stats = fn(**case.kwargs_dict)
+            wall = time.perf_counter() - started
+            round_events = float(stats.get("events", 0)) or None
+            round_ticks = None
+        else:
+            from repro.experiments.specs import get_spec
+
+            spec = get_spec(case.target)
+            started = time.perf_counter()
+            result = spec.run(**case.kwargs_dict)
+            wall = time.perf_counter() - started
+            round_events = result.runtime.get("events")
+            round_ticks = result.runtime.get("sim_ticks")
+        if best_wall is None or wall < best_wall:
+            best_wall = wall
+            events = round_events
+            sim_ticks = round_ticks
+    entry: Dict[str, object] = {
+        "kind": case.kind,
+        "kwargs": case.kwargs_dict,
+        "wall_s": round(best_wall, 6),
+        "events": None if events is None else int(events),
+        "events_per_s": (
+            None if not events or best_wall <= 0 else round(events / best_wall, 1)
+        ),
+    }
+    if sim_ticks:
+        entry["sim_s"] = round(sim_ticks / 1e6, 6)
+    return entry
+
+
+def run_suite(
+    quick: bool = False,
+    only: Optional[str] = None,
+    repeat: Optional[int] = None,
+    progress: Optional[Callable[[str, Dict[str, object]], None]] = None,
+) -> Dict[str, object]:
+    """Run the (filtered) suite and return the report dict."""
+    report: Dict[str, object] = {
+        "schema": SCHEMA,
+        "suite": "quick" if quick else "full",
+        "cases": {},
+    }
+    for case in build_suite():
+        if quick and not case.quick:
+            continue
+        if only and only not in case.name:
+            continue
+        entry = run_case(case, repeat=repeat)
+        report["cases"][case.name] = entry
+        if progress is not None:
+            progress(case.name, entry)
+    return report
+
+
+def dump_report(report: Dict[str, object], path: str) -> None:
+    """Write a report as deterministic JSON (sorted keys, newline-final)."""
+    with open(path, "w") as handle:
+        json.dump(report, handle, sort_keys=True, indent=2)
+        handle.write("\n")
+
+
+def load_report(path: str) -> Dict[str, object]:
+    """Read a previously written report JSON."""
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def hardware_index(old: Dict[str, object], new: Dict[str, object]) -> float:
+    """Relative machine speed new/old, from the dispatch micro case.
+
+    > 1.0 means the new machine dispatches faster. Falls back to 1.0
+    when either report lacks the index case.
+    """
+    try:
+        old_rate = old["cases"][INDEX_CASE]["events_per_s"]
+        new_rate = new["cases"][INDEX_CASE]["events_per_s"]
+    except (KeyError, TypeError):
+        return 1.0
+    if not old_rate or not new_rate:
+        return 1.0
+    return float(new_rate) / float(old_rate)
+
+
+def compare_reports(
+    old: Dict[str, object], new: Dict[str, object]
+) -> List[Dict[str, object]]:
+    """Per-case deltas for cases present (with equal kwargs) in both.
+
+    ``speedup`` is raw old/new wall; ``norm_speedup`` divides out the
+    hardware index (a machine running dispatch 2x slower halves every
+    raw speedup for equal code, so dividing by the index restores
+    ~1.0x), letting two reports from different machines compare code
+    speed rather than CPU speed.
+    """
+    index = hardware_index(old, new)
+    rows: List[Dict[str, object]] = []
+    for name in sorted(set(old.get("cases", {})) & set(new.get("cases", {}))):
+        old_case = old["cases"][name]
+        new_case = new["cases"][name]
+        if old_case.get("kwargs") != new_case.get("kwargs"):
+            continue
+        old_wall = float(old_case["wall_s"])
+        new_wall = float(new_case["wall_s"])
+        speedup = old_wall / new_wall if new_wall > 0 else float("inf")
+        rows.append(
+            {
+                "case": name,
+                "old_wall_s": old_wall,
+                "new_wall_s": new_wall,
+                "speedup": speedup,
+                "norm_speedup": speedup / index if index > 0 else speedup,
+                "old_events_per_s": old_case.get("events_per_s"),
+                "new_events_per_s": new_case.get("events_per_s"),
+            }
+        )
+    return rows
+
+
+def render_comparison(rows: List[Dict[str, object]], index: float) -> str:
+    """The --compare delta table as aligned monospace text."""
+    lines = [
+        f"hardware index (new/old dispatch rate): {index:.3f}",
+        f"{'case':<32} {'old wall':>10} {'new wall':>10} {'speedup':>8} "
+        f"{'norm':>8}  events/s old -> new",
+    ]
+    for row in rows:
+        old_eps = row["old_events_per_s"]
+        new_eps = row["new_events_per_s"]
+        eps = (
+            f"{old_eps:,.0f} -> {new_eps:,.0f}"
+            if old_eps and new_eps
+            else "-"
+        )
+        lines.append(
+            f"{row['case']:<32} {row['old_wall_s']:>9.3f}s {row['new_wall_s']:>9.3f}s "
+            f"{row['speedup']:>7.2f}x {row['norm_speedup']:>7.2f}x  {eps}"
+        )
+    return "\n".join(lines)
+
+
+def regressions(
+    rows: List[Dict[str, object]], tolerance: float
+) -> List[Dict[str, object]]:
+    """Rows whose normalised slowdown exceeds ``tolerance`` (e.g. 0.30)."""
+    floor = 1.0 / (1.0 + tolerance)
+    return [row for row in rows if row["norm_speedup"] < floor]

@@ -1,0 +1,121 @@
+"""CLI: run the declared benchmark suite and compare reports.
+
+Examples::
+
+    python -m repro.bench                          # full suite, print report
+    python -m repro.bench --out BENCH_PR3.json     # full suite, write JSON
+    python -m repro.bench --quick                  # CI subset (fast cases)
+    python -m repro.bench --only meshgen           # name-filtered subset
+    python -m repro.bench --quick \\
+        --compare BENCH_PR3.json --max-regression 0.30
+
+``--compare OLD`` prints a delta table of every case present in both
+reports (matched by name + kwargs). With ``--max-regression T`` the
+process exits 1 when any shared case got slower than ``T`` (fractional,
+0.30 = 30 %) after normalising by the engine-dispatch hardware index —
+this is the CI perf gate. ``--compare`` without a fresh run (``--load``)
+diffs two existing files.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.bench import (
+    compare_reports,
+    dump_report,
+    hardware_index,
+    load_report,
+    regressions,
+    render_comparison,
+    run_suite,
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Run the repo's declared benchmark suite.",
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="run only the fast CI subset"
+    )
+    parser.add_argument(
+        "--only", default=None, metavar="SUBSTR", help="run cases whose name contains SUBSTR"
+    )
+    parser.add_argument(
+        "--repeat", type=int, default=None, help="override per-case repeat count"
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="FILE", help="write the report JSON to FILE"
+    )
+    parser.add_argument(
+        "--load",
+        default=None,
+        metavar="FILE",
+        help="skip running; load an existing report as the 'new' side",
+    )
+    parser.add_argument(
+        "--compare",
+        default=None,
+        metavar="OLD.json",
+        help="print a delta table against a previous report",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=None,
+        metavar="FRAC",
+        help="with --compare: exit 1 if any case regresses more than FRAC "
+        "(normalised by the dispatch hardware index)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.load is not None:
+        report = load_report(args.load)
+    else:
+        def progress(name, entry):
+            eps = entry.get("events_per_s")
+            rate = f"  {eps:,.0f} events/s" if eps else ""
+            print(f"{name:<32} {entry['wall_s']:>9.3f}s{rate}", file=sys.stderr)
+
+        report = run_suite(
+            quick=args.quick, only=args.only, repeat=args.repeat, progress=progress
+        )
+
+    if args.out is not None:
+        dump_report(report, args.out)
+        print(f"wrote {args.out} ({len(report['cases'])} case(s))", file=sys.stderr)
+    elif args.load is None and args.compare is None:
+        json.dump(report, sys.stdout, sort_keys=True, indent=2)
+        print()
+
+    if args.compare is not None:
+        old = load_report(args.compare)
+        rows = compare_reports(old, report)
+        if not rows:
+            print("no comparable cases (names/kwargs differ)", file=sys.stderr)
+            return 1
+        print(render_comparison(rows, hardware_index(old, report)))
+        if args.max_regression is not None:
+            bad = regressions(rows, args.max_regression)
+            if bad:
+                for row in bad:
+                    print(
+                        f"REGRESSION {row['case']}: {row['norm_speedup']:.2f}x "
+                        f"(tolerance {1.0 / (1.0 + args.max_regression):.2f}x)",
+                        file=sys.stderr,
+                    )
+                return 1
+            print(
+                f"no regressions beyond {args.max_regression:.0%} "
+                f"({len(rows)} case(s) compared)",
+                file=sys.stderr,
+            )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,72 @@
+"""Engine micro-benchmarks: raw scheduling + dispatch throughput.
+
+Each micro case is a plain function returning ``{"events": n}``; the
+suite runner times it and derives events/s. They deliberately exercise
+the three heap entry flavours separately — fire-and-forget posts (the
+hot path of the simulator), cancellable :class:`~repro.sim.engine.Event`
+objects, and a cancel-heavy churn that exercises the dead-event
+bookkeeping (and, once implemented, heap compaction).
+"""
+
+from __future__ import annotations
+
+from repro.sim.engine import Engine
+
+
+def engine_post_dispatch(events: int = 200_000) -> dict:
+    """Fire-and-forget posts drained by ``run()`` (the hot path)."""
+    engine = Engine()
+    fn = _count
+    box = [0]
+    for i in range(events):
+        engine.post(i, fn, box)
+    engine.run()
+    assert box[0] == events
+    return {"events": engine.processed_events}
+
+
+def engine_schedule_dispatch(events: int = 100_000) -> dict:
+    """Cancellable Event scheduling + dispatch (no cancellations)."""
+    engine = Engine()
+    fn = _count
+    box = [0]
+    for i in range(events):
+        engine.schedule(i, fn, box)
+    engine.run()
+    assert box[0] == events
+    return {"events": engine.processed_events}
+
+
+def engine_cancel_churn(events: int = 100_000, cancel_every: int = 2) -> dict:
+    """Schedule, cancel a large fraction, then drain.
+
+    Measures how dispatch degrades when the heap carries dead events;
+    with heap compaction this should cost close to the live-event count
+    only. Every ``cancel_every``-th event is cancelled.
+    """
+    engine = Engine()
+    fn = _count
+    box = [0]
+    handles = [engine.schedule(i, fn, box) for i in range(events)]
+    cancelled = 0
+    for handle in handles[::cancel_every]:
+        handle.cancel()
+        cancelled += 1
+    engine.run()
+    assert box[0] == events - cancelled
+    return {"events": engine.processed_events}
+
+
+def _count(box: list) -> None:
+    box[0] += 1
+
+
+#: name -> (callable, kwargs); names are stable identifiers in BENCH files.
+MICRO_CASES = {
+    "micro.engine_post_dispatch": (engine_post_dispatch, {"events": 200_000}),
+    "micro.engine_schedule_dispatch": (engine_schedule_dispatch, {"events": 100_000}),
+    "micro.engine_cancel_churn": (
+        engine_cancel_churn,
+        {"events": 100_000, "cancel_every": 2},
+    ),
+}

@@ -199,8 +199,8 @@ def _print_record(record: RunRecord) -> None:
 def _run_batch(requests, jobs: int, out: Optional[str]) -> None:
     if jobs < 0:
         raise ParameterValueError("--jobs must be >= 0 (0 = all available cores)")
-    runner = SweepRunner(jobs=default_jobs() if jobs == 0 else jobs)
-    records = runner.run(requests, on_record=_print_record)
+    with SweepRunner(jobs=default_jobs() if jobs == 0 else jobs) as runner:
+        records = runner.run(requests, on_record=_print_record)
     if out is not None:
         from repro.experiments.export import export_records
 

@@ -74,6 +74,7 @@ def run(
                 attach_ezflow(network.nodes)
             sender.start()
             network.engine.run(until=seconds(duration_s))
+            result.note_runtime(network.engine)
             table.add(
                 window,
                 "on" if ezflow else "off",

@@ -10,7 +10,7 @@ can assert on shapes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple  # noqa: F401
 
 
 @dataclass
@@ -64,6 +64,27 @@ class ExperimentResult:
     tables: List[Table] = field(default_factory=list)
     series: Dict[str, List[Tuple[float, float]]] = field(default_factory=dict)
     notes: List[str] = field(default_factory=list)
+    #: Execution statistics (engine event counts, simulated seconds...)
+    #: for benchmarking and sweep-manifest timing. Deliberately EXCLUDED
+    #: from :meth:`to_dict`, so exported artefacts stay byte-identical
+    #: across machines, worker counts and code-speed changes.
+    runtime: Dict[str, float] = field(default_factory=dict)
+
+    def note_runtime(self, engine, extra: Optional[Dict[str, float]] = None) -> None:
+        """Accumulate engine statistics into :attr:`runtime`.
+
+        Harnesses that run several engines (schedules, sweeps over
+        internal networks) call this once per engine; event counts add
+        up. ``extra`` merges additional keyed numbers verbatim.
+        """
+        self.runtime["events"] = self.runtime.get("events", 0.0) + float(
+            engine.processed_events
+        )
+        self.runtime["sim_ticks"] = self.runtime.get("sim_ticks", 0.0) + float(
+            engine.now
+        )
+        if extra:
+            self.runtime.update(extra)
 
     def table(self, title: str, columns: Sequence[str]) -> Table:
         """Create, register and return a new table."""

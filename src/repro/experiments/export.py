@@ -112,16 +112,27 @@ def export_records(records: Iterable, out_dir: str) -> List[str]:
     loosely to keep this module import-light). Writes, deterministically:
 
     * ``<out>/<run_id>/`` — ``result.json``, ``tables.md``, series CSVs,
-    * ``<out>/manifest.json`` — run ids, spec ids and parameters,
+    * ``<out>/manifest.json`` — run ids, spec ids and parameters, plus a
+      ``timing`` section (per-run wall seconds, engine event counts and
+      events/s, and batch totals),
     * ``<out>/EXPERIMENTS.md`` — every result rendered to markdown.
 
-    No timestamps or wall times appear in any artefact.
+    The per-run artefacts and the index never contain timestamps or wall
+    times — they are byte-identical whatever the worker count or machine
+    speed. Timing lives *only* in the manifest's ``timing`` key, so
+    comparing two sweeps for determinism means comparing everything else
+    byte-for-byte and the manifest with ``timing`` removed (see
+    ``tests/test_runner.py`` and the CI meshgen smoke job).
     """
     records = list(records)
     targets = []
+    timing = {"runs": {}}
+    total_wall = 0.0
+    total_events = 0.0
     manifest = {
         "experiments": sorted({r.request.spec_id for r in records}),
         "runs": [],
+        "timing": timing,
     }
     sections = [
         "# Experiment results",
@@ -141,7 +152,22 @@ def export_records(records: Iterable, out_dir: str) -> List[str]:
                 "parameters": dict(record.result.parameters),
             }
         )
+        events = record.result.runtime.get("events")
+        wall_s = round(record.wall_s, 6)
+        timing["runs"][record.request.run_id] = {
+            "wall_s": wall_s,
+            "events": None if events is None else int(events),
+            "events_per_s": (
+                None
+                if not events or record.wall_s <= 0
+                else round(events / record.wall_s, 1)
+            ),
+        }
+        total_wall += record.wall_s
+        total_events += events or 0.0
         sections.append(result_to_markdown(record.result, record.request.run_id))
+    timing["total_wall_s"] = round(total_wall, 6)
+    timing["total_events"] = int(total_events)
     with open(os.path.join(out_dir, "manifest.json"), "w") as handle:
         json.dump(manifest, handle, sort_keys=True, indent=2)
         handle.write("\n")

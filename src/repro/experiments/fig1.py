@@ -49,6 +49,7 @@ def run(
         )
         sampler.start()
         network.run(until_us=seconds(duration_s))
+        result.note_runtime(network.engine)
         start, end = seconds(warmup_s), seconds(duration_s)
         throughput = network.flow("F1").throughput_bps(start, end) / 1000.0
         throughputs[hops] = throughput

@@ -52,6 +52,7 @@ def run(
             run_handle = testbed_simulation(
                 seed, (flow_id,), duration_s, ezflow, sample_interval_s
             )
+            result.note_runtime(run_handle.network.engine)
             sampler = run_handle.sampler
             start, end = seconds(warmup_s), seconds(duration_s)
             for node in WATCHED[flow_id]:

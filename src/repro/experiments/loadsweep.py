@@ -50,6 +50,7 @@ def run(
             if ezflow:
                 attach_ezflow(network.nodes)
             network.run(until_us=seconds(duration_s))
+            result.note_runtime(network.engine)
             flow = network.flow("F1")
             table.add(
                 load,

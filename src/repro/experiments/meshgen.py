@@ -88,7 +88,11 @@ def run(
     spec = MeshSpec(
         kind=topology, nodes=nodes, density=density, gateways=gateways, seed=seed
     )
-    network, topo = build_mesh_network(spec)
+    # This harness only reads the buffer sampler's series; declaring
+    # that collapses every other counter/series (per-queue occupancy,
+    # MAC/PHY counters, controller telemetry) to recording no-ops —
+    # tracing is write-only, so exports stay byte-identical.
+    network, topo = build_mesh_network(spec, trace_exports=("buffer.",))
     sources = _sample_flows(topo, flows, network)
     endpoints = [(src, topo.nearest[src]) for src in sources]
     attached = attach_workload(
@@ -128,6 +132,7 @@ def run(
             "seed": seed,
         },
     )
+    result.note_runtime(network.engine)
 
     shape = result.table(
         "Topology",

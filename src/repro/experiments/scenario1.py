@@ -74,6 +74,7 @@ def run(
         network = scenario1_network(seed=seed, time_scale=time_scale)
         controllers = attach_ezflow(network.nodes) if ezflow else {}
         network.run(until_us=seconds(F1_STOP_S * time_scale))
+        result.note_runtime(network.engine)
         tag = "ez" if ezflow else "std"
         for period, (raw_start, raw_stop) in periods.items():
             start_s = raw_start * time_scale

@@ -53,6 +53,7 @@ def run(
             CbrSource(network.engine, network.nodes[src], flow, 2_000_000.0, 1000)
         )
         network.run(until_us=seconds(duration_s))
+        result.note_runtime(network.engine)
         start, end = seconds(warmup_s), seconds(duration_s)
         measured = flow.throughput_bps(start, end) / 1000.0
         rates = [r for _, r in flow.throughput_series_kbps(start, end, bin_s=10.0)]

@@ -72,6 +72,7 @@ def run(
         for ezflow in (False, True):
             # Shared with Figure 4 (same seed/duration) via testbedlab.
             network = testbed_simulation(seed, flows, duration_s, ezflow).network
+            result.note_runtime(network.engine)
             stats = {f: summarize_flow(network.flow(f), start, end) for f in flows}
             fi = (
                 jain_fairness_index(

@@ -16,6 +16,7 @@ elapsed idle time back into consumed slots.
 from __future__ import annotations
 
 from collections import deque
+from heapq import heappush
 from dataclasses import dataclass, field
 from typing import Callable, Deque, Dict, Hashable, List, Optional
 
@@ -25,7 +26,7 @@ from repro.phy.channel import Channel, PhyListener
 from repro.phy.rates import DSSS_1MBPS, PhyRates
 from repro.sim.engine import Engine
 from repro.sim.rng import RngRegistry
-from repro.sim.tracing import TraceRecorder
+from repro.sim.tracing import TraceRecorder, _noop
 
 NodeId = Hashable
 
@@ -143,19 +144,24 @@ class TxEntity:
         port = dcf._port
         if port.sensed or port.own_tx is not None:
             return
-        rates = dcf.config.rates
         # current_ifs_us inlined (and eifs read from the precomputed
         # attribute rather than through the property descriptor).
+        slot = dcf._slot_us
         if dcf._use_eifs:
-            ifs = rates._eifs_us
+            ifs = dcf._eifs_us
         else:
-            ifs = rates.sifs_us + self.aifsn * rates.slot_time_us
+            ifs = dcf._sifs_us + self.aifsn * slot
         engine = dcf.engine
-        delay = ifs + self.slots_remaining * rates.slot_time_us
+        delay = ifs + self.slots_remaining * slot
         self.backoff_started_at = engine.now + ifs
         self._fire_gen = gen = self._fire_gen + 1
         self.fire_armed = True
-        engine.post(delay, self._fire, gen)
+        # Engine.post inlined (this is the single hottest scheduling
+        # site): push the fire-and-forget 4-tuple directly. A stale
+        # timer (suspended before firing) dies on its generation check.
+        seq = engine._seq
+        engine._seq = seq + 1
+        heappush(engine._heap, (engine.now + delay, seq, self._fire, (gen,)))
 
     def _suspend(self) -> None:
         """Medium went busy: cancel the timer, bank consumed slots."""
@@ -165,13 +171,13 @@ class TxEntity:
         self._fire_gen += 1
         now = self.dcf.engine.now
         if self.backoff_started_at is not None and now > self.backoff_started_at:
-            elapsed_slots = (now - self.backoff_started_at) // self.dcf.config.rates.slot_time_us
+            elapsed_slots = (now - self.backoff_started_at) // self.dcf._slot_us
             self.slots_remaining = max(0, self.slots_remaining - int(elapsed_slots))
         self.backoff_started_at = None
 
     def _fire(self, gen: int) -> None:
         if gen != self._fire_gen or not self.fire_armed:
-            return  # a stale post; the timer was suspended meanwhile
+            return  # a stale timer; it was suspended meanwhile
         self.fire_armed = False
         self.backoff_started_at = None
         self.slots_remaining = 0
@@ -212,7 +218,7 @@ class TxEntity:
 
     def on_ack_timeout(self) -> None:
         """No ACK arrived: collision or loss on the link."""
-        self.dcf.trace_bump("mac.ack_timeouts")
+        self.dcf._bump_ack_timeouts()
         self._on_failure()
 
     def _on_failure(self) -> None:
@@ -264,7 +270,24 @@ class Dcf(PhyListener):
         registry = rng or RngRegistry(0)
         self.rng = registry.stream(f"mac.{node_id}")
         self.trace = trace
+        # Pre-bound counter hooks: shared no-ops when tracing is off or
+        # the experiment declared the MAC counters unconsumed.
+        if trace is None:
+            hook = lambda key: _noop  # noqa: E731
+        else:
+            hook = trace.counter_hook
+        self._bump_ack_timeouts = hook("mac.ack_timeouts")
+        self._bump_data_tx = hook("mac.data_tx")
+        self._bump_tx_success = hook("mac.tx_success")
+        self._bump_tx_drop = hook("mac.tx_drop")
+        self._bump_duplicates = hook("mac.duplicates")
+        self._bump_ack_tx = hook("mac.ack_tx")
         self.entities: List[TxEntity] = []
+        # Channel-side busy/idle gate: alias the live entity list, so a
+        # node with no transmit queues (pure sink / bystander — most of
+        # a large mesh) costs nothing per medium transition, and starts
+        # hearing them the moment its first entity is added.
+        self.medium_watchers = self.entities
         self._seq = 0
         self._transmitting_entity: Optional[TxEntity] = None
         self._ack_gen = 0
@@ -272,6 +295,15 @@ class Dcf(PhyListener):
         self._ack_timeout_cache: Dict[int, int] = {}
         self._ack_frames: Dict[NodeId, Frame] = {}
         self._use_eifs = False
+        # Hot-path constants hoisted off config.rates (immutable): the
+        # backoff clock reads them tens of thousands of times per run.
+        rates = self.config.rates
+        self._sifs_us = rates.sifs_us
+        self._slot_us = rates.slot_time_us
+        self._eifs_us = rates._eifs_us
+        self._ack_tx_us = rates.ack_tx_time_us()
+        # frame size -> airtime; data frames share a handful of sizes.
+        self._duration_cache: Dict[int, int] = {}
         self._dedup: "OrderedDedup" = OrderedDedup(self.config.dedup_cache_size)
         # Upper-layer callbacks (wired by the node stack).
         self.on_data_received: Optional[Callable[[Frame, int], None]] = None
@@ -286,6 +318,12 @@ class Dcf(PhyListener):
     def add_entity(self, name: str, queue: FifoQueue, successor: NodeId) -> TxEntity:
         """Create the transmit entity for one (queue, successor) pair."""
         entity = TxEntity(self, name, queue, successor)
+        if not self.entities:
+            # First entity: this MAC was a passive bystander for medium
+            # transitions; the channel re-partitions its plans (including
+            # those of frames currently in the air) so busy/idle edges
+            # are delivered from here on.
+            self.channel.activate_listener(self.node_id)
         self.entities.append(entity)
         return entity
 
@@ -340,11 +378,15 @@ class Dcf(PhyListener):
             # piggybacked queue length) before the frame hits the air.
             self.on_tx_start(entity, frame)
         config = self.config
-        duration = config.rates.frame_tx_time_us(frame.size_bytes)
+        duration = self._duration_cache.get(frame.size_bytes)
+        if duration is None:
+            duration = self._duration_cache[frame.size_bytes] = (
+                config.rates.frame_tx_time_us(frame.size_bytes)
+            )
         self._transmitting_entity = entity
         self._awaiting_ack_from = entity.successor
         self.channel.transmit(self.node_id, frame, duration)
-        self.trace_bump("mac.data_tx")
+        self._bump_data_tx()
         # Suspend every other entity: our own transmission occupies the radio.
         for other in self.entities:
             if other is not entity and other.fire_armed:
@@ -360,7 +402,10 @@ class Dcf(PhyListener):
                 + config.ack_timeout_slack_us
             )
         self._ack_gen = gen = self._ack_gen + 1
-        self.engine.post(timeout, self._ack_timed_out, gen)
+        engine = self.engine
+        seq = engine._seq
+        engine._seq = seq + 1
+        heappush(engine._heap, (engine.now + timeout, seq, self._ack_timed_out, (gen,)))
 
     def _ack_timed_out(self, gen: int) -> None:
         if gen != self._ack_gen:
@@ -374,38 +419,71 @@ class Dcf(PhyListener):
 
     def notify_tx_success(self, entity: TxEntity, packet, frame: Frame) -> None:
         """Propagate a confirmed (ACKed) handoff to the upper layer."""
-        self.trace_bump("mac.tx_success")
+        self._bump_tx_success()
         if self.on_tx_success is not None:
             self.on_tx_success(entity, packet, frame)
 
     def notify_tx_drop(self, entity: TxEntity, packet) -> None:
         """Propagate a retry-limit drop to the upper layer."""
-        self.trace_bump("mac.tx_drop")
+        self._bump_tx_drop()
         if self.on_tx_drop is not None:
             self.on_tx_drop(entity, packet)
 
     # -- PhyListener ---------------------------------------------------------
 
     def on_medium_busy(self, now: int) -> None:
+        # TxEntity._suspend inlined (minus its fire_armed re-check,
+        # done by this loop): these per-frame-edge loops carry the
+        # backoff clock for the whole simulation.
+        slot = self._slot_us
         for entity in self.entities:
             if entity.fire_armed:
-                entity._suspend()
+                entity.fire_armed = False
+                entity._fire_gen += 1
+                started = entity.backoff_started_at
+                if started is not None and now > started:
+                    elapsed = (now - started) // slot
+                    entity.slots_remaining = max(
+                        0, entity.slots_remaining - int(elapsed)
+                    )
+                entity.backoff_started_at = None
 
     def on_medium_idle(self, now: int) -> None:
         # The channel only reports idle transitions, so the medium check
-        # of _resume_all is already satisfied here.
-        for entity in self.entities:
+        # of _try_resume is already satisfied here; its body is inlined
+        # (same arithmetic, same seq draw) with the state/armed/port
+        # guards hoisted into the loop.
+        entities = self.entities
+        if not entities:
+            return
+        slot = self._slot_us
+        eifs = self._eifs_us if self._use_eifs else None
+        sifs = self._sifs_us
+        engine = self.engine
+        heap = engine._heap
+        for entity in entities:
             if entity.state is _BACKOFF and not entity.fire_armed:
-                entity._try_resume()
+                ifs = eifs if eifs is not None else sifs + entity.aifsn * slot
+                entity.backoff_started_at = now + ifs
+                entity._fire_gen = gen = entity._fire_gen + 1
+                entity.fire_armed = True
+                seq = engine._seq
+                engine._seq = seq + 1
+                heappush(
+                    heap,
+                    (
+                        now + ifs + entity.slots_remaining * slot,
+                        seq,
+                        entity._fire,
+                        (gen,),
+                    ),
+                )
 
     def _resume_all(self) -> None:
         port = self._port
         if port.sensed or port.own_tx is not None:
             return
-        backoff = TxEntity.BACKOFF
-        for entity in self.entities:
-            if entity.state is backoff and not entity.fire_armed:
-                entity._try_resume()
+        self.on_medium_idle(self.engine.now)
 
     def on_frame_received(self, frame: Frame, now: int) -> None:
         if frame.kind is _ACK:
@@ -415,7 +493,7 @@ class Dcf(PhyListener):
         self._send_ack(frame)
         self._use_eifs = False
         if self._dedup.seen((frame.src, frame.seq)):
-            self.trace_bump("mac.duplicates")
+            self._bump_duplicates()
             return
         if self.on_data_received is not None:
             self.on_data_received(frame, now)
@@ -441,13 +519,23 @@ class Dcf(PhyListener):
         ack = self._ack_frames.get(dst)
         if ack is None:
             ack = self._ack_frames[dst] = make_ack_frame(self.node_id, dst)
-        rates = self.config.rates
-        self.engine.post(rates.sifs_us, self._do_send_ack, ack, rates.ack_tx_time_us())
+        engine = self.engine
+        seq = engine._seq
+        engine._seq = seq + 1
+        heappush(
+            engine._heap,
+            (
+                engine.now + self._sifs_us,
+                seq,
+                self._do_send_ack,
+                (ack, self._ack_tx_us),
+            ),
+        )
 
     def _do_send_ack(self, ack: Frame, duration: int) -> None:
         if self._port.own_tx is None:
             self.channel.transmit(self.node_id, ack, duration)
-            self.trace_bump("mac.ack_tx")
+            self._bump_ack_tx()
 
     def on_frame_overheard(self, frame: Frame, now: int) -> None:
         self._use_eifs = False

@@ -10,7 +10,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, Optional
 
-from repro.sim.tracing import TimeSeries, TraceRecorder
+from repro.sim.tracing import TimeSeries, TraceRecorder, _noop
 
 DEFAULT_CAPACITY = 50
 
@@ -41,8 +41,15 @@ class FifoQueue:
         self.dequeued = 0
         # Occupancy is recorded on every push/pop; resolve the series
         # and key once instead of formatting/looking them up per packet.
+        # Both collapse to nothing when the experiment declared it does
+        # not consume per-queue instrumentation.
         self._drop_key = f"{name}.drops"
-        if trace is not None and engine is not None:
+        self._bump_drop = _noop if trace is None else trace.counter_hook(self._drop_key)
+        if (
+            trace is not None
+            and engine is not None
+            and trace.wants(f"{name}.occupancy")
+        ):
             self._occupancy = trace.series.setdefault(f"{name}.occupancy", TimeSeries())
         else:
             self._occupancy = None
@@ -70,8 +77,7 @@ class FifoQueue:
         """
         if len(self._items) >= self.capacity:
             self.dropped += 1
-            if self.trace is not None:
-                self.trace.bump(self._drop_key)
+            self._bump_drop()
             if strict:
                 raise QueueDropError(f"{self.name} full (capacity {self.capacity})")
             return False

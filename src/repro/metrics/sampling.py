@@ -34,25 +34,36 @@ class BufferSampler:
         self.interval_us = seconds(interval_s)
         self.forwarding_only = forwarding_only
         self._started = False
+        self._probes: List = []
 
     def start(self) -> None:
-        """Begin periodic sampling (idempotence is enforced)."""
+        """Begin periodic sampling (idempotence is enforced).
+
+        Runs on the engine's periodic-callback path: the engine
+        re-pushes the sampler after each firing with a fresh sequence
+        number, which is ordering-identical to the callback re-posting
+        itself (same ``(time, seq)`` stream, no RNG interaction) but
+        skips a Python-level ``post`` per period. Per-node series
+        writers are pre-bound once; nodes whose series the experiment
+        does not consume collapse to shared no-ops.
+        """
         if self._started:
             raise RuntimeError("sampler already started")
         self._started = True
-        self.engine.post(0, self._sample)
+        self._probes = [
+            (self.nodes[node_id], self.trace.series_hook(f"buffer.node{node_id}"))
+            for node_id in self.node_ids
+        ]
+        self.engine.post_periodic(0, self.interval_us, self._sample)
 
     def _sample(self) -> None:
         now = self.engine.now
-        for node_id in self.node_ids:
-            stack = self.nodes[node_id]
-            value = (
-                stack.forwarding_occupancy()
-                if self.forwarding_only
-                else stack.total_buffer_occupancy()
-            )
-            self.trace.record(f"buffer.node{node_id}", now, value)
-        self.engine.post(self.interval_us, self._sample)
+        if self.forwarding_only:
+            for stack, append in self._probes:
+                append(now, stack.forwarding_occupancy())
+        else:
+            for stack, append in self._probes:
+                append(now, stack.total_buffer_occupancy())
 
     def series_for(self, node_id: Hashable):
         """The recorded occupancy series of one node."""

@@ -24,13 +24,62 @@ from repro.net.routing import StaticRouting
 from repro.phy.channel import Channel
 from repro.sim.engine import Engine
 from repro.sim.rng import RngRegistry
-from repro.sim.tracing import TraceRecorder
+from repro.sim.tracing import TraceRecorder, _noop
 
 NodeId = Hashable
 
 #: queue kinds
 OWN = "own"
 FWD = "fwd"
+
+
+class _WiringList(list):
+    """A callback list that invokes a hook on first growth.
+
+    The node stack leaves its MAC's overheard-frame upcall unwired until
+    somebody actually subscribes a sniffer: overhearing is the single
+    most frequent PHY delivery in a dense mesh, and for the common
+    no-sniffer configuration (standard 802.11, static baselines) the
+    whole per-frame call chain collapses to nothing. Appending the first
+    callback — whether via ``append``, ``extend`` or ``insert`` — wires
+    the MAC exactly as the eager constructor used to.
+    """
+
+    __slots__ = ("_on_first",)
+
+    def __init__(self, on_first):
+        super().__init__()
+        self._on_first = on_first
+
+    def _wire(self) -> None:
+        if not self:
+            self._on_first()
+
+    def append(self, item):
+        self._wire()
+        super().append(item)
+
+    def extend(self, items):
+        items = list(items)
+        if items:
+            self._wire()
+        super().extend(items)
+
+    def insert(self, index, item):
+        self._wire()
+        super().insert(index, item)
+
+    def __iadd__(self, items):
+        items = list(items)
+        if items:
+            self._wire()
+        return super().__iadd__(items)
+
+    def __setitem__(self, index, item):
+        # Slice assignment can also grow the list (and is how some
+        # callers might splice a callback in); wire defensively.
+        self._wire()
+        super().__setitem__(index, item)
 
 
 class NodeStack:
@@ -52,10 +101,12 @@ class NodeStack:
         self.routing = routing
         self.node_id = node_id
         self.trace = trace
+        self._bump_mac_drops = (
+            _noop if trace is None else trace.counter_hook(f"node{node_id}.mac_drops")
+        )
         self.queue_capacity = queue_capacity
         self.mac = Dcf(engine, channel, node_id, mac_config, rng, trace)
         self.mac.on_data_received = self._on_data_received
-        self.mac.on_data_overheard = self._on_data_overheard
         self.mac.on_tx_success = self._on_tx_success
         self.mac.on_tx_drop = self._on_tx_drop
         # (kind, successor) -> (queue, entity)
@@ -63,7 +114,12 @@ class NodeStack:
         self._flows: Dict[Hashable, Flow] = {}
         # Sniffer subscribers: fn(frame, now). Sent-packet subscribers:
         # fn(entity, packet, frame, now) fired on MAC-confirmed handoff.
-        self.sniffer_callbacks: List[Callable[[Frame, int], None]] = []
+        # The MAC's overheard upcall is wired on first subscription only
+        # (see _WiringList): without sniffers the per-frame overhearing
+        # chain stops at the MAC.
+        self.sniffer_callbacks: List[Callable[[Frame, int], None]] = _WiringList(
+            self._wire_sniffing
+        )
         self.sent_callbacks: List[Callable[[TxEntity, Packet, Frame, int], None]] = []
         self.forwarded_callbacks: List[Callable[[TxEntity, Packet, Frame, int], None]] = []
         self.delivered_callbacks: List[Callable[[Packet, int], None]] = []
@@ -149,6 +205,10 @@ class NodeStack:
         else:
             self.relay_drops += 1
 
+    def _wire_sniffing(self) -> None:
+        """First sniffer subscribed: route MAC overhearing upward."""
+        self.mac.on_data_overheard = self._on_data_overheard
+
     def _on_data_overheard(self, frame: Frame, now: int) -> None:
         for callback in self.sniffer_callbacks:
             callback(frame, now)
@@ -161,5 +221,4 @@ class NodeStack:
             callback(entity, packet, frame, now)
 
     def _on_tx_drop(self, entity: TxEntity, packet: Packet) -> None:
-        if self.trace is not None:
-            self.trace.bump(f"node{self.node_id}.mac_drops")
+        self._bump_mac_drops()

@@ -18,25 +18,55 @@ via ``on_frame_error`` so the MAC can apply EIFS.
 Implementation notes (this is the hottest module of the simulator):
 connectivity is static between configuration calls, so per-sender
 "delivery plans" — the repr-sorted attached listeners with their receive
-power, decodability and loss probabilities — are precomputed once and
-reused by every transmission. The repr-sort order and the RNG draw
-sequence (one erasure draw per decodable frame, one sniffer draw per
-lossy overhearing) are exactly the original semantics: results are
-bit-identical to the unoptimized channel, just ~2x cheaper per frame.
+power, decodability and loss probabilities — are built lazily on a
+sender's *first transmission* and reused by every subsequent frame
+(senders that never transmit never pay a plan build; a 100-node mesh
+with four flows builds plans for the handful of nodes actually on air).
+Plan rows come in two shapes: full rows for nodes that can decode the
+sender, and lean rows for sense-only nodes (the majority inside a large
+mesh's 550 m interference radius), which skip all corruption
+bookkeeping — corruption is only ever consulted where a frame is
+decodable. Pairwise capture outcomes are resolved into frozensets that
+are interned channel-wide, so the quadratic family of per-(sender,
+node) sets collapses onto the handful of distinct ones. The repr-sort
+order and the RNG draw sequence (one erasure draw per decodable frame,
+one sniffer draw per lossy overhearing) are exactly the original
+semantics: results are bit-identical to the unoptimized channel, just
+cheaper per frame and per plan build.
 """
 
 from __future__ import annotations
 
+from collections import deque
+from heapq import heappush
+from itertools import repeat as _repeat
 from typing import Callable, Dict, Hashable, List, Optional, Set, Tuple
 
 from repro.phy.connectivity import ConnectivityMap, NodeId
 from repro.sim.engine import Engine
 from repro.sim.rng import RngRegistry
-from repro.sim.tracing import TraceRecorder
+from repro.sim.tracing import TraceRecorder, _noop
+
+
+def _drain(iterator) -> None:
+    """Exhaust an iterator at C speed (the map() side-effect idiom)."""
+    deque(iterator, maxlen=0)
 
 
 class PhyListener:
     """Callbacks a MAC entity implements to attach to the channel."""
+
+    #: Truthiness gate for busy/idle delivery. The channel checks this
+    #: *at frame time* (the plan rows alias the object, not its value):
+    #: when falsy, ``on_medium_busy``/``on_medium_idle`` are skipped for
+    #: this node. The default — an always-truthy tuple — delivers every
+    #: transition. :class:`~repro.mac.dcf.Dcf` aliases its live entity
+    #: list here, so the many pure-sink/bystander nodes of a large mesh
+    #: (no transmit queues, hence provably transition-indifferent) stop
+    #: paying a Python call per overheard frame edge; the moment a node
+    #: grows its first entity the shared list turns truthy and delivery
+    #: resumes. Reception callbacks are never gated.
+    medium_watchers = (True,)
 
     def on_medium_busy(self, now: int) -> None:
         """Medium transitioned idle -> busy at this node."""
@@ -85,13 +115,16 @@ class ChannelPort:
     port.own_tx is None``.
     """
 
-    __slots__ = ("node_id", "listener", "sensed", "own_tx")
+    __slots__ = ("node_id", "listener", "sensed", "own_tx", "watchers")
 
     def __init__(self, node_id: NodeId, listener: PhyListener):
         self.node_id = node_id
         self.listener = listener
         self.sensed: Set[Transmission] = set()
         self.own_tx: Optional[Transmission] = None
+        # Cached busy/idle gate of the listener (see
+        # PhyListener.medium_watchers); refreshed on attach.
+        self.watchers = getattr(listener, "medium_watchers", (True,))
 
     @property
     def idle(self) -> bool:
@@ -118,6 +151,16 @@ class Channel:
         self.connectivity = connectivity
         self.rng = rng.stream("phy.erasures")
         self.trace = trace
+        # Counter hooks pre-bound once: a no-op when tracing is off or
+        # the experiment declared it does not consume the PHY counters.
+        if trace is None:
+            self._bump_tx_started = _noop
+            self._bump_rx_ok = _noop
+            self._bump_rx_error = _noop
+        else:
+            self._bump_tx_started = trace.counter_hook("phy.tx_started")
+            self._bump_rx_ok = trace.counter_hook("phy.rx_ok")
+            self._bump_rx_error = trace.counter_hook("phy.rx_error")
         if capture_ratio < 1.0:
             raise ValueError("capture_ratio must be >= 1 (linear SIR)")
         self.capture_ratio = capture_ratio
@@ -133,9 +176,16 @@ class Channel:
         # need (busy callbacks plus precomputed capture-outcome sets),
         # rx_plan rows what frame *ends* need (delivery callbacks and
         # loss probabilities). Listener methods are pre-bound so
-        # per-frame dispatch skips the attribute walks. Rebuilt lazily
-        # after any attach/loss-configuration change.
+        # per-frame dispatch skips the attribute walks. Built lazily on
+        # a sender's first transmission; dropped wholesale after any
+        # attach/loss-configuration change.
         self._plans: Dict[NodeId, tuple] = {}
+        # node -> {sender: rx power} over the senders sensed at node,
+        # and the channel-wide intern table for capture-outcome sets.
+        # Both depend only on the (immutable) connectivity map and the
+        # capture ratio, so they survive attach/loss reconfiguration.
+        self._node_powers: Dict[NodeId, Dict[NodeId, float]] = {}
+        self._capture_sets: Dict[frozenset, frozenset] = {}
 
     # -- wiring ---------------------------------------------------------
 
@@ -148,6 +198,7 @@ class Channel:
             port = self._ports[node_id] = ChannelPort(node_id, listener)
         else:
             port.listener = listener
+            port.watchers = getattr(listener, "medium_watchers", (True,))
         self._plans.clear()
         return port
 
@@ -165,15 +216,55 @@ class Channel:
         self._overhear_loss[node_id] = probability
         self._plans.clear()
 
+    def _powers_at(self, node: NodeId) -> Dict[NodeId, float]:
+        """Receive power at ``node`` of every sender it can sense (cached)."""
+        powers = self._node_powers.get(node)
+        if powers is None:
+            connectivity = self.connectivity
+            rx_power = connectivity.rx_power
+            powers = self._node_powers[node] = {
+                s: rx_power(node, s) for s in connectivity.senders_sensed_at(node)
+            }
+        return powers
+
     def _plan_for(self, sender: NodeId) -> tuple:
-        """The precomputed (tx_plan, rx_plan) of one sender (lazy build)."""
+        """The precomputed plan of one sender (lazy build on first tx).
+
+        Returns ``(tx_passive, tx_active, rx_passive, rx_active,
+        passive_sets)``, where ``passive_sets`` aliases ``rx_passive``
+        (the bare sensed sets, for the C-level sweeps). Rows are
+        partitioned by what can ever happen at the node:
+
+        * *passive* — sense-only for this sender AND no medium watchers
+          at build time (see :attr:`PhyListener.medium_watchers`): the
+          frame only occupies the node's ``sensed`` set and may capture-
+          kill decodable concurrent frames there. tx rows are ``(node,
+          sensed, kills)``; rx "rows" are the bare ``sensed`` sets.
+        * *active* — everything else, in repr-sorted node order. tx rows
+          are ``(port, node, sensed, on_busy, kills, dies)`` when the
+          node can decode the sender, ``(port, node, sensed, on_busy,
+          kills)`` when sense-only; rx rows ``(port, node, sensed,
+          on_idle, on_rx, on_over, on_err, loss, miss)`` / ``(port,
+          node, sensed, on_idle)`` respectively.
+
+        ``kills`` holds the concurrent senders whose overlapping frame
+        this one corrupts at ``node``, restricted to senders the node
+        can decode (the only corruption ever consulted); ``dies`` the
+        senders whose frame corrupts this one there. Both frozensets
+        are interned channel-wide. A passive node that grows its first
+        transmit entity is re-partitioned via
+        :meth:`activate_listener`, which also patches the plans of
+        in-flight frames — so the split never loses a busy/idle edge.
+        """
         plans = self._plans.get(sender)
         if plans is None:
             connectivity = self.connectivity
             ratio = self.capture_ratio
-            all_nodes = connectivity.nodes()
-            tx_plan = []
-            rx_plan = []
+            interned = self._capture_sets
+            tx_passive: List[tuple] = []
+            tx_active: List[tuple] = []
+            rx_passive: List[set] = []
+            rx_active: List[tuple] = []
             # Sorted iteration keeps event order independent of set-hash
             # randomization (node ids may be strings), so identical seeds
             # reproduce identical runs across processes.
@@ -182,41 +273,95 @@ class Channel:
                 if port is None:
                     continue
                 listener = port.listener
-                p_new = connectivity.rx_power(node, sender)
-                # Capture outcomes against every possible concurrent
-                # sender, resolved to membership sets: senders whose
-                # overlapping frame this one corrupts at `node`, and
-                # senders whose frame corrupts this one.
-                others = [
-                    s
-                    for s in all_nodes
-                    if s != sender and connectivity.can_sense(node, s)
-                ]
+                powers = self._powers_at(node)
+                p_new = powers.get(sender)
+                if p_new is None:  # defensive: inconsistent custom maps
+                    p_new = connectivity.rx_power(node, sender)
                 kills = frozenset(
-                    s for s in others if connectivity.rx_power(node, s) < ratio * p_new
+                    s
+                    for s in connectivity.senders_received_at(node)
+                    if s != sender and powers.get(s, 0.0) < ratio * p_new
                 )
-                dies = frozenset(
-                    s for s in others if p_new < ratio * connectivity.rx_power(node, s)
-                )
-                tx_plan.append(
-                    (port, node, port.sensed, listener.on_medium_busy, kills, dies)
-                )
-                rx_plan.append(
-                    (
-                        port,
-                        node,
-                        port.sensed,
-                        listener.on_medium_idle,
-                        listener.on_frame_received,
-                        listener.on_frame_overheard,
-                        listener.on_frame_error,
-                        connectivity.can_receive(node, sender),
-                        self._loss.get((sender, node), 0.0),
-                        self._overhear_loss.get(node, 0.0),
+                kills = interned.setdefault(kills, kills)
+                watchers = port.watchers
+                if connectivity.can_receive(node, sender):
+                    dies = frozenset(
+                        s
+                        for s, p in powers.items()
+                        if s != sender and p_new < ratio * p
                     )
-                )
-            plans = self._plans[sender] = (tx_plan, rx_plan)
+                    dies = interned.setdefault(dies, dies)
+                    tx_active.append(
+                        (port, node, port.sensed, listener.on_medium_busy, kills, dies)
+                    )
+                    rx_active.append(
+                        (
+                            port,
+                            node,
+                            port.sensed,
+                            listener.on_medium_idle,
+                            listener.on_frame_received,
+                            listener.on_frame_overheard,
+                            listener.on_frame_error,
+                            self._loss.get((sender, node), 0.0),
+                            self._overhear_loss.get(node, 0.0),
+                        )
+                    )
+                elif watchers:
+                    tx_active.append(
+                        (port, node, port.sensed, listener.on_medium_busy, kills)
+                    )
+                    rx_active.append(
+                        (port, node, port.sensed, listener.on_medium_idle)
+                    )
+                else:
+                    tx_passive.append((node, port.sensed, kills))
+                    rx_passive.append(port.sensed)
+            plans = self._plans[sender] = (
+                tx_passive,
+                tx_active,
+                rx_passive,
+                rx_active,
+                rx_passive,  # alias: bare passive sets for the C-level sweeps
+            )
         return plans
+
+    def activate_listener(self, node_id: NodeId) -> None:
+        """A passive listener now watches medium transitions.
+
+        Called by the MAC when a node acquires its first transmit
+        entity. Drops every cached plan (future transmissions rebuild
+        with the node in the active partition) and patches the plans
+        held by in-flight transmissions in place — the passive rx entry
+        becomes an active sense-only row at its repr-sorted position —
+        so the node's idle edge at those frames' ends is delivered
+        exactly as an unpartitioned channel would have.
+        """
+        self._plans.clear()
+        port = self._ports.get(node_id)
+        if port is None:
+            return
+        sensed_set = port.sensed
+        listener = port.listener
+        key = repr(node_id)
+        patched = set()
+        for tx in self.active_transmissions:
+            plan = tx.rx_plan
+            if plan is None or id(plan) in patched:
+                continue
+            patched.add(id(plan))
+            rx_passive, rx_active = plan[2], plan[3]
+            for i, row_sensed in enumerate(rx_passive):
+                if row_sensed is sensed_set:
+                    del rx_passive[i]
+                    position = 0
+                    for j, row in enumerate(rx_active):
+                        if repr(row[1]) < key:
+                            position = j + 1
+                    rx_active.insert(
+                        position, (port, node_id, sensed_set, listener.on_medium_idle)
+                    )
+                    break
 
     # -- carrier sense --------------------------------------------------
 
@@ -246,13 +391,52 @@ class Channel:
         tx = Transmission(sender, frame, now, now + duration_us)
         sender_port.own_tx = tx
         self.active_transmissions.append(tx)
-        if self.trace is not None:
-            self.trace.bump("phy.tx_started")
+        self._bump_tx_started()
 
         corrupted = None
-        tx_plan, rx_plan = self._plan_for(sender)
-        tx.rx_plan = rx_plan
-        for port, node, sensed, on_busy, kills, dies in tx_plan:
+        plans = self._plans.get(sender)
+        if plans is None:
+            plans = self._plan_for(sender)
+        tx.rx_plan = plans
+        if not plans[0]:
+            pass  # dense-entity topology (chains/testbed): no passive rows
+        elif len(self.active_transmissions) == 1:
+            # Nothing else on the air anywhere: every sensed set is
+            # empty, so no captures are possible — occupy the passive
+            # bystanders' media in one C-level sweep.
+            _drain(map(set.add, plans[4], _repeat(tx)))
+        else:
+            for node, sensed, kills in plans[0]:
+                # Passive bystander: occupy the medium and resolve
+                # captures against decodable concurrent frames; nothing
+                # to call.
+                if sensed and kills:
+                    for other in sensed:
+                        if other.sender in kills:
+                            other_corrupted = other.corrupted_at
+                            if other_corrupted is None:
+                                other_corrupted = other.corrupted_at = set()
+                            other_corrupted.add(node)
+                sensed.add(tx)
+        for row in plans[1]:
+            if len(row) == 5:
+                # Sense-only node with medium watchers: no corruption
+                # bookkeeping for tx itself (it can never decode here) —
+                # only capture kills plus the busy transition.
+                port, node, sensed, on_busy, kills = row
+                was_idle = port.own_tx is None and not sensed
+                if sensed and kills:
+                    for other in sensed:
+                        if other.sender in kills:
+                            other_corrupted = other.corrupted_at
+                            if other_corrupted is None:
+                                other_corrupted = other.corrupted_at = set()
+                            other_corrupted.add(node)
+                sensed.add(tx)
+                if was_idle:
+                    on_busy(now)
+                continue
+            port, node, sensed, on_busy, kills, dies = row
             # A node that is itself transmitting cannot decode anything.
             if port.own_tx is not None:
                 if corrupted is None:
@@ -268,7 +452,7 @@ class Channel:
             # mutually hidden links fire in parallel successfully —
             # the paper's Table 4 activation patterns. The comparisons
             # are pre-resolved into the kills/dies sets.
-            if sensed:
+            if sensed and (kills or dies):
                 for other in sensed:
                     other_sender = other.sender
                     if other_sender in kills:
@@ -284,7 +468,11 @@ class Channel:
             if was_idle:
                 on_busy(now)
 
-        self.engine.post(duration_us, self._finish, tx)
+        # Engine.post inlined (hot path): completion is self-scheduled.
+        engine = self.engine
+        seq = engine._seq
+        engine._seq = seq + 1
+        heappush(engine._heap, (now + duration_us, seq, self._finish, (tx,)))
         return tx
 
     def _finish(self, tx: Transmission) -> None:
@@ -295,33 +483,48 @@ class Channel:
         self.active_transmissions.remove(tx)
 
         rng_random = self.rng.random
-        trace = self.trace
+        bump_rx_ok = self._bump_rx_ok
+        bump_rx_error = self._bump_rx_error
         corrupted = tx.corrupted_at
         frame = tx.frame
-        dst = getattr(frame, "dst", None)
-        for port, node, sensed, on_idle, on_rx, on_over, on_err, receivable, loss, miss in tx.rx_plan:
+        dst = frame.dst
+        plan = tx.rx_plan
+        # Passive bystanders: release the medium in one C-level sweep —
+        # nothing to call. (Their order relative to the active rows is
+        # unobservable: passive rows never draw RNG, post events, or run
+        # callbacks, and every row only touches its own node's state.)
+        if plan[2]:
+            _drain(map(set.discard, plan[2], _repeat(tx)))
+        for row in plan[3]:
+            if len(row) == 4:
+                # Sense-only node with medium watchers: release the
+                # medium and report the idle transition.
+                port, node, sensed, on_idle = row
+                sensed.discard(tx)
+                if not sensed and port.own_tx is None:
+                    on_idle(now)
+                continue
+            port, node, sensed, on_idle, on_rx, on_over, on_err, loss, miss = row
             sensed.discard(tx)
-            decodable = receivable and (corrupted is None or node not in corrupted)
+            decodable = corrupted is None or node not in corrupted
             if decodable and loss and rng_random() < loss:
                 decodable = False
             if decodable:
                 if dst == node:
-                    if trace is not None:
-                        trace.bump("phy.rx_ok")
+                    bump_rx_ok()
                     on_rx(frame, now)
                 elif not miss or rng_random() >= miss:
                     on_over(frame, now)
-            elif receivable:
+            else:
                 # Reception-grade signal that arrived corrupted: the PHY
                 # saw a frame but could not decode it -> EIFS applies.
                 # Sense-only signals merely occupy the medium (no PLCP
                 # decode is attempted), matching ns-2's behaviour.
-                if trace is not None:
-                    trace.bump("phy.rx_error")
+                bump_rx_error()
                 on_err(now)
             if not sensed and port.own_tx is None:
                 on_idle(now)
 
         # The sender's own view: it was busy with its own transmission.
-        if not sender_port.sensed and sender_port.own_tx is None:
+        if not sender_port.sensed and sender_port.own_tx is None and sender_port.watchers:
             sender_port.listener.on_medium_idle(now)

@@ -9,7 +9,7 @@ is encoded, including its asymmetric sensing relations.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Hashable, Iterable, Mapping, Set, Tuple
+from typing import Dict, FrozenSet, Hashable, Iterable, Mapping, Optional, Set, Tuple
 
 from repro.phy.propagation import Position, RangeModel, distance
 
@@ -53,6 +53,26 @@ class ConnectivityMap:
         """Nodes whose medium goes busy when ``sender`` transmits."""
         raise NotImplementedError
 
+    # -- inverse relations ------------------------------------------------
+    #
+    # The channel's per-sender delivery-plan build needs "which senders
+    # does this node hear?" — the inverse of sensors_of/receivers_of.
+    # The generic implementations scan all nodes (exactly the relation's
+    # definition); concrete maps override them with indexed lookups so a
+    # plan build is O(degree^2) instead of O(degree * N).
+
+    def senders_sensed_at(self, node: NodeId) -> FrozenSet[NodeId]:
+        """Senders whose transmissions make the medium busy at ``node``."""
+        return frozenset(
+            s for s in self.nodes() if s != node and self.can_sense(node, s)
+        )
+
+    def senders_received_at(self, node: NodeId) -> FrozenSet[NodeId]:
+        """Senders whose frames ``node`` decodes (collision-free case)."""
+        return frozenset(
+            s for s in self.nodes() if s != node and self.can_receive(node, s)
+        )
+
 
 class GeometricConnectivity(ConnectivityMap):
     """Connectivity from positions and deterministic radii."""
@@ -65,20 +85,30 @@ class GeometricConnectivity(ConnectivityMap):
         self._build()
 
     def _build(self) -> None:
-        ids = list(self.positions)
+        # Distance is symmetric (identical IEEE arithmetic both ways),
+        # so each unordered pair is evaluated once and recorded in both
+        # directions — same sets as the full N^2 scan at half the cost.
+        positions = self.positions
+        ids = list(positions)
+        can_receive = self.ranges.can_receive
+        can_sense = self.ranges.can_sense
+        rx: Dict[NodeId, Set[NodeId]] = {a: set() for a in ids}
+        sense: Dict[NodeId, Set[NodeId]] = {a: set() for a in ids}
+        for i, a in enumerate(ids):
+            pos_a = positions[a]
+            rx_a = rx[a]
+            sense_a = sense[a]
+            for b in ids[i + 1 :]:
+                d = distance(pos_a, positions[b])
+                if can_sense(d):
+                    sense_a.add(b)
+                    sense[b].add(a)
+                    if can_receive(d):
+                        rx_a.add(b)
+                        rx[b].add(a)
         for a in ids:
-            rx: Set[NodeId] = set()
-            sense: Set[NodeId] = set()
-            for b in ids:
-                if a == b:
-                    continue
-                d = distance(self.positions[a], self.positions[b])
-                if self.ranges.can_receive(d):
-                    rx.add(b)
-                if self.ranges.can_sense(d):
-                    sense.add(b)
-            self._rx[a] = frozenset(rx)
-            self._sense[a] = frozenset(sense)
+            self._rx[a] = frozenset(rx[a])
+            self._sense[a] = frozenset(sense[a])
 
     def nodes(self) -> FrozenSet[NodeId]:
         return frozenset(self.positions)
@@ -103,6 +133,15 @@ class GeometricConnectivity(ConnectivityMap):
 
     def sensors_of(self, sender: NodeId) -> FrozenSet[NodeId]:
         return self._sense.get(sender, frozenset())
+
+    # Geometric relations are symmetric (one distance, two directions),
+    # so the inverse relations are the forward tables themselves.
+
+    def senders_sensed_at(self, node: NodeId) -> FrozenSet[NodeId]:
+        return self._sense.get(node, frozenset())
+
+    def senders_received_at(self, node: NodeId) -> FrozenSet[NodeId]:
+        return self._rx.get(node, frozenset())
 
 
 class ExplicitConnectivity(ConnectivityMap):
@@ -140,6 +179,20 @@ class ExplicitConnectivity(ConnectivityMap):
             add(sense, a, b)
         self._rx = {n: frozenset(v) for n, v in rx.items()}
         self._sense = {n: frozenset(v) for n, v in sense.items()}
+        # Inverse indexes (may differ from the forward tables when the
+        # map is asymmetric); built lazily on first use.
+        self._rx_at: Optional[Dict[NodeId, FrozenSet[NodeId]]] = None
+        self._sense_at: Optional[Dict[NodeId, FrozenSet[NodeId]]] = None
+
+    @staticmethod
+    def _invert(
+        table: Mapping[NodeId, FrozenSet[NodeId]]
+    ) -> Dict[NodeId, FrozenSet[NodeId]]:
+        inverse: Dict[NodeId, Set[NodeId]] = {n: set() for n in table}
+        for sender, targets in table.items():
+            for target in targets:
+                inverse[target].add(sender)
+        return {n: frozenset(v) for n, v in inverse.items()}
 
     def nodes(self) -> FrozenSet[NodeId]:
         return self._nodes
@@ -163,3 +216,13 @@ class ExplicitConnectivity(ConnectivityMap):
 
     def sensors_of(self, sender: NodeId) -> FrozenSet[NodeId]:
         return self._sense[sender]
+
+    def senders_sensed_at(self, node: NodeId) -> FrozenSet[NodeId]:
+        if self._sense_at is None:
+            self._sense_at = self._invert(self._sense)
+        return self._sense_at[node]
+
+    def senders_received_at(self, node: NodeId) -> FrozenSet[NodeId]:
+        if self._rx_at is None:
+            self._rx_at = self._invert(self._rx)
+        return self._rx_at[node]

@@ -11,12 +11,26 @@ themselves: tuple comparison happens entirely in C (seq is unique, so
 the event object is never compared), which roughly halves dispatch cost
 versus a ``__lt__``-ordered object heap — this loop carries the whole
 MAC/PHY simulation.
+
+Three heap entry flavours share the ``(time, seq, ...)`` prefix and are
+told apart by length at dispatch:
+
+* ``(time, seq, Event)`` — cancellable (``schedule``);
+* ``(time, seq, fn, args)`` — fire-and-forget (``post``), the hot path;
+* ``(time, seq, fn, args, interval)`` — self-rescheduling periodic
+  callbacks (``post_periodic``) for samplers.
+
+Cancelled events are counted as they accumulate; once they are both
+numerous and the majority of the heap, the heap is compacted in place
+(dead entries filtered out, then re-heapified). Filtering preserves the
+exact ``(time, seq)`` order of the survivors, so dispatch order — and
+therefore every RNG draw — is untouched.
 """
 
 from __future__ import annotations
 
 import gc
-from heapq import heappop, heappush
+from heapq import heapify, heappop, heappush
 from typing import Any, Callable, List, Optional, Tuple
 
 
@@ -28,21 +42,40 @@ class Event:
     """A scheduled callback.
 
     Instances are returned by :meth:`Engine.schedule` and can be cancelled.
-    A cancelled event stays in the heap but is skipped when popped.
+    A cancelled event stays in the heap but is skipped when popped (or
+    removed wholesale when the engine compacts the heap).
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "engine")
 
-    def __init__(self, time: int, seq: int, fn: Callable[..., None], args: tuple):
+    def __init__(
+        self,
+        time: int,
+        seq: int,
+        fn: Callable[..., None],
+        args: tuple,
+        engine: "Optional[Engine]" = None,
+    ):
         self.time = time
         self.seq = seq
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self.engine = engine
 
     def cancel(self) -> None:
-        """Prevent the callback from firing. Idempotent."""
-        self.cancelled = True
+        """Prevent the callback from firing. Idempotent.
+
+        Cancelling after the event fired (or was compacted away) is a
+        harmless no-op — the engine back-reference is cleared when the
+        event leaves the heap, so the dead-event accounting stays exact.
+        """
+        if not self.cancelled:
+            self.cancelled = True
+            engine = self.engine
+            if engine is not None:
+                self.engine = None
+                engine._note_cancelled()
 
     def __lt__(self, other: "Event") -> bool:
         if self.time != other.time:
@@ -57,15 +90,22 @@ class Event:
 class Engine:
     """Discrete-event engine with an integer microsecond clock."""
 
+    #: Heap compaction fires when at least this many cancelled events
+    #: have accumulated AND they make up at least half the heap. The
+    #: floor keeps tiny heaps (and cancel-then-immediately-pop churn)
+    #: from paying rebuild cost for no gain.
+    COMPACT_MIN_CANCELLED = 64
+
     def __init__(self):
         #: Current simulation time in microsecond ticks (read-only by
         #: convention; a plain attribute because the property descriptor
         #: showed up in dispatch profiles).
         self.now = 0
         self._seq = 0
-        self._heap: List[Tuple[int, int, Event]] = []
+        self._heap: List[Tuple] = []
         self._running = False
         self._processed = 0
+        self._cancelled = 0
 
     @property
     def processed_events(self) -> int:
@@ -74,8 +114,23 @@ class Engine:
 
     @property
     def pending_events(self) -> int:
-        """Number of events in the heap (including cancelled ones)."""
+        """Number of heap entries, cancelled ones included.
+
+        This is the heap's physical size (memory pressure); use
+        :attr:`live_events` for the number of callbacks that will
+        actually fire.
+        """
         return len(self._heap)
+
+    @property
+    def live_events(self) -> int:
+        """Number of pending events that are not cancelled."""
+        return len(self._heap) - self._cancelled
+
+    @property
+    def cancelled_events(self) -> int:
+        """Number of cancelled events still occupying the heap."""
+        return self._cancelled
 
     def schedule(self, delay: int, fn: Callable[..., None], *args: Any) -> Event:
         """Schedule ``fn(*args)`` to run ``delay`` ticks from now.
@@ -88,7 +143,7 @@ class Engine:
         time = self.now + int(delay)
         seq = self._seq
         self._seq = seq + 1
-        event = Event(time, seq, fn, args)
+        event = Event(time, seq, fn, args, self)
         heappush(self._heap, (time, seq, event))
         return event
 
@@ -111,6 +166,51 @@ class Engine:
         self._seq = seq + 1
         heappush(self._heap, (self.now + int(delay), seq, fn, args))
 
+    def post_periodic(
+        self, delay: int, interval: int, fn: Callable[..., None], *args: Any
+    ) -> None:
+        """Schedule ``fn(*args)`` every ``interval`` ticks, forever.
+
+        The cheap path for samplers: after each firing the engine
+        re-pushes the same entry with a fresh sequence number, exactly
+        as if the callback had re-posted itself as its last statement —
+        so ``(time, seq)`` dispatch order (and with it every RNG draw)
+        matches the self-reposting pattern it replaces, without paying a
+        Python-level ``post`` call per period. Not cancellable; the
+        callback simply stops being reached when ``run(until=...)``
+        passes its horizon.
+        """
+        if delay < 0:
+            raise SimTimeError(f"cannot schedule {delay} ticks in the past")
+        interval = int(interval)
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        seq = self._seq
+        self._seq = seq + 1
+        heappush(self._heap, (self.now + int(delay), seq, fn, args, interval))
+
+    def _note_cancelled(self) -> None:
+        """One live heap entry became dead; compact when dead dominates."""
+        self._cancelled = cancelled = self._cancelled + 1
+        heap = self._heap
+        if cancelled >= self.COMPACT_MIN_CANCELLED and cancelled * 2 >= len(heap):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify, in place.
+
+        In-place (slice assignment) so the ``heap`` local that ``run``
+        holds keeps pointing at the live structure. Survivor order is
+        re-established by ``heapify`` over the same ``(time, seq)`` keys
+        the original pushes used, so dispatch order is unchanged.
+        """
+        heap = self._heap
+        heap[:] = [
+            entry for entry in heap if len(entry) != 3 or not entry[2].cancelled
+        ]
+        heapify(heap)
+        self._cancelled = 0
+
     def run(self, until: Optional[int] = None) -> int:
         """Run events in order until the heap drains or ``until`` is passed.
 
@@ -130,34 +230,64 @@ class Engine:
             if until is None:
                 while heap:
                     entry = heappop(heap)
-                    if len(entry) == 4:
+                    size = len(entry)
+                    if size == 4:
                         self.now = entry[0]
                         processed += 1
                         entry[2](*entry[3])
                         continue
-                    event = entry[2]
-                    if event.cancelled:
+                    if size == 3:
+                        event = entry[2]
+                        if event.cancelled:
+                            self._cancelled -= 1
+                            continue
+                        event.engine = None
+                        self.now = entry[0]
+                        processed += 1
+                        event.fn(*event.args)
                         continue
+                    # size == 5: periodic — fire and self-reschedule.
                     self.now = entry[0]
                     processed += 1
-                    event.fn(*event.args)
+                    entry[2](*entry[3])
+                    seq = self._seq
+                    self._seq = seq + 1
+                    heappush(
+                        heap,
+                        (entry[0] + entry[4], seq, entry[2], entry[3], entry[4]),
+                    )
             else:
                 while heap:
                     time = heap[0][0]
                     if time > until:
                         break
                     entry = heappop(heap)
-                    if len(entry) == 4:
+                    size = len(entry)
+                    if size == 4:
                         self.now = time
                         processed += 1
                         entry[2](*entry[3])
                         continue
-                    event = entry[2]
-                    if event.cancelled:
+                    if size == 3:
+                        event = entry[2]
+                        if event.cancelled:
+                            self._cancelled -= 1
+                            continue
+                        event.engine = None
+                        self.now = time
+                        processed += 1
+                        event.fn(*event.args)
                         continue
+                    # size == 5: periodic — fire and self-reschedule.
                     self.now = time
                     processed += 1
-                    event.fn(*event.args)
+                    entry[2](*entry[3])
+                    seq = self._seq
+                    self._seq = seq + 1
+                    heappush(
+                        heap,
+                        (time + entry[4], seq, entry[2], entry[3], entry[4]),
+                    )
         finally:
             self._running = False
             self._processed = processed
@@ -174,14 +304,28 @@ class Engine:
         """
         while self._heap:
             entry = heappop(self._heap)
-            if len(entry) == 4:
+            size = len(entry)
+            if size == 4:
                 self.now = entry[0]
                 self._processed += 1
                 entry[2](*entry[3])
                 return True
+            if size == 5:
+                self.now = entry[0]
+                self._processed += 1
+                entry[2](*entry[3])
+                seq = self._seq
+                self._seq = seq + 1
+                heappush(
+                    self._heap,
+                    (entry[0] + entry[4], seq, entry[2], entry[3], entry[4]),
+                )
+                return True
             event = entry[2]
             if event.cancelled:
+                self._cancelled -= 1
                 continue
+            event.engine = None
             self.now = entry[0]
             self._processed += 1
             event.fn(*event.args)

@@ -65,11 +65,20 @@ def build_network(
     seed: int = 0,
     mac_config: Optional[DcfConfig] = None,
     description: str = "",
+    trace_exports: Optional[Tuple[str, ...]] = None,
 ) -> Network:
-    """Instantiate engine, channel and one stack per connectivity node."""
+    """Instantiate engine, channel and one stack per connectivity node.
+
+    ``trace_exports`` optionally declares the trace-key prefixes the
+    caller's experiment consumes (see
+    :class:`~repro.sim.tracing.TraceRecorder`); everything else becomes
+    a recording no-op. ``None`` records all instrumentation — the safe
+    default every canned figure uses. Tracing is write-only telemetry,
+    so the restriction changes run speed, never run behaviour.
+    """
     engine = Engine()
     rng = RngRegistry(seed)
-    trace = TraceRecorder()
+    trace = TraceRecorder(exports=trace_exports)
     channel = Channel(engine, connectivity, rng, trace)
     routing = StaticRouting()
     nodes: Dict[NodeId, NodeStack] = {}

@@ -154,14 +154,43 @@ def _mesh_positions(
     stream = rng.stream(f"topology.meshgen.{spec.seed}")
     side = spec.tx_range_m * math.sqrt(spec.nodes / spec.density)
     ranges = RangeModel(spec.tx_range_m, spec.sense_range_m)
+    can_receive = ranges.can_receive
+    count = spec.nodes
     for attempt in range(1, spec.max_attempts + 1):
         positions = {
             i: (stream.uniform(0.0, side), stream.uniform(0.0, side))
-            for i in range(spec.nodes)
+            for i in range(count)
         }
-        connectivity = GeometricConnectivity(positions, ranges)
-        if is_connected(connectivity):
-            return positions, attempt, connectivity
+        # Cheap connectivity probe before paying for the full map: the
+        # reception graph alone decides acceptance, so rejected attempts
+        # (the common case near the connectivity threshold) only cost a
+        # half-matrix adjacency build + one BFS — no sensing sets, no
+        # frozensets, no GeometricConnectivity construction. The same
+        # `distance`/`can_receive` predicates are used, so acceptance
+        # decisions (and with them the RNG stream) are bit-identical to
+        # validating via the full map.
+        adjacency: List[List[int]] = [[] for _ in range(count)]
+        for a in range(count):
+            pos_a = positions[a]
+            adj_a = adjacency[a]
+            for b in range(a + 1, count):
+                if can_receive(distance(pos_a, positions[b])):
+                    adj_a.append(b)
+                    adjacency[b].append(a)
+        seen = [False] * count
+        seen[0] = True
+        frontier = deque((0,))
+        reached = 1
+        while frontier:
+            for neighbour in adjacency[frontier.popleft()]:
+                if not seen[neighbour]:
+                    seen[neighbour] = True
+                    reached += 1
+                    frontier.append(neighbour)
+        if reached == count:
+            # Accepted: now build the full map (receive + sense sets)
+            # exactly as before.
+            return positions, attempt, GeometricConnectivity(positions, ranges)
     raise MeshGenError(
         f"no connected placement of {spec.nodes} nodes at density "
         f"{spec.density} in {spec.max_attempts} attempts (seed {spec.seed})"
@@ -286,7 +315,9 @@ def generate_topology(spec: MeshSpec) -> MeshTopology:
 
 
 def build_mesh_network(
-    spec: MeshSpec, mac_config: Optional[DcfConfig] = None
+    spec: MeshSpec,
+    mac_config: Optional[DcfConfig] = None,
+    trace_exports: Optional[Tuple[str, ...]] = None,
 ) -> Tuple[Network, MeshTopology]:
     """Instantiate a fully wired :class:`Network` for a generated layout.
 
@@ -305,6 +336,7 @@ def build_mesh_network(
             f"generated {spec.kind}: {spec.nodes} nodes, "
             f"{len(topology.gateways)} gateway(s), seed {spec.seed}"
         ),
+        trace_exports=trace_exports,
     )
     for gateway in topology.gateways:
         parents = topology.parents[gateway]

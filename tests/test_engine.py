@@ -162,3 +162,132 @@ class TestStep:
         engine.schedule(10, fired.append, "b")
         assert engine.step()
         assert fired == ["b"]
+
+
+class TestLiveAndCancelledAccounting:
+    """pending_events counts heap entries; live_events excludes cancelled."""
+
+    def test_split_after_cancellations(self):
+        engine = Engine()
+        handles = [engine.schedule(10 + i, lambda: None) for i in range(10)]
+        engine.post(100, lambda: None)
+        assert engine.pending_events == 11
+        assert engine.live_events == 11
+        for handle in handles[:4]:
+            handle.cancel()
+        assert engine.pending_events == 11
+        assert engine.live_events == 7
+        assert engine.cancelled_events == 4
+
+    def test_cancel_is_idempotent_for_accounting(self):
+        engine = Engine()
+        handle = engine.schedule(5, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert engine.cancelled_events == 1
+        assert engine.live_events == 0
+
+    def test_cancel_after_fire_does_not_corrupt_counts(self):
+        engine = Engine()
+        handle = engine.schedule(5, lambda: None)
+        engine.run()
+        handle.cancel()  # late cancel: harmless no-op
+        assert engine.cancelled_events == 0
+        assert engine.pending_events == 0
+        assert engine.live_events == 0
+
+    def test_counts_drain_through_run(self):
+        engine = Engine()
+        fired = []
+        keep = [engine.schedule(i, fired.append, i) for i in range(6)]
+        for handle in keep[::2]:
+            handle.cancel()
+        engine.run()
+        assert fired == [1, 3, 5]
+        assert engine.pending_events == 0
+        assert engine.live_events == 0
+        assert engine.cancelled_events == 0
+
+
+class TestHeapCompaction:
+    def test_compaction_removes_dead_entries(self):
+        engine = Engine()
+        fired = []
+        handles = [engine.schedule(i, fired.append, i) for i in range(200)]
+        for handle in handles[:150]:
+            handle.cancel()
+        # Compaction fired at the 100th cancel (>= the 64 floor and half
+        # of the 200-entry heap); the remaining 50 cancels stay below
+        # the floor, so they linger — but live accounting stays exact.
+        assert engine.pending_events == 100
+        assert engine.live_events == 50
+        assert engine.cancelled_events == 50
+        engine.run()
+        assert fired == list(range(150, 200))
+        assert engine.pending_events == 0
+        assert engine.cancelled_events == 0
+
+    def test_compaction_preserves_dispatch_order(self):
+        engine = Engine()
+        fired = []
+        # Interleave survivors and victims at identical ticks so any
+        # ordering damage from the rebuild would be visible.
+        survivors = []
+        victims = []
+        for i in range(120):
+            survivors.append(engine.schedule(7, fired.append, i))
+            victims.append(engine.schedule(7, lambda: fired.append("dead")))
+        for handle in victims:
+            handle.cancel()
+        engine.run()
+        assert fired == list(range(120))
+
+    def test_small_heaps_are_not_compacted(self):
+        engine = Engine()
+        handles = [engine.schedule(i, lambda: None) for i in range(10)]
+        for handle in handles:
+            handle.cancel()
+        # Below the floor: entries stay, but live accounting is exact.
+        assert engine.pending_events == 10
+        assert engine.live_events == 0
+
+
+class TestPeriodicCallbacks:
+    def test_periodic_fires_on_grid(self):
+        engine = Engine()
+        ticks = []
+        engine.post_periodic(0, 10, lambda: ticks.append(engine.now))
+        engine.run(until=35)
+        assert ticks == [0, 10, 20, 30]
+
+    def test_periodic_matches_self_reposting_sequence(self):
+        """(time, seq) stream identical to a callback that re-posts
+        itself last — the ordering contract samplers rely on."""
+        periodic = Engine()
+        log_p = []
+        periodic.post_periodic(0, 10, lambda: log_p.append(periodic.now))
+        periodic.post(15, log_p.append, "mid")
+        periodic.run(until=30)
+
+        reposting = Engine()
+        log_r = []
+        def sample():
+            log_r.append(reposting.now)
+            reposting.post(10, sample)
+        reposting.post(0, sample)
+        reposting.post(15, log_r.append, "mid")
+        reposting.run(until=30)
+        assert log_p == log_r
+
+    def test_periodic_rejects_bad_interval(self):
+        engine = Engine()
+        with pytest.raises(ValueError):
+            engine.post_periodic(0, 0, lambda: None)
+
+    def test_step_handles_periodic_entries(self):
+        engine = Engine()
+        ticks = []
+        engine.post_periodic(5, 10, lambda: ticks.append(engine.now))
+        assert engine.step()
+        assert engine.step()
+        assert ticks == [5, 15]

@@ -192,25 +192,51 @@ class TestSweepRunner:
                 cmp.left_only,
                 cmp.right_only,
             )
-            assert not cmp.diff_files, cmp.diff_files
-            # shallow=False byte comparison for the common files
+            # shallow=False byte comparison for the common files; the
+            # manifest is the one deliberate exception — its `timing`
+            # section records wall clocks — and is compared structurally
+            # with timing removed.
             for name in cmp.common_files:
                 left = os.path.join(cmp.left, name)
                 right = os.path.join(cmp.right, name)
-                assert filecmp.cmp(left, right, shallow=False), name
+                if name == "manifest.json":
+                    with open(left) as handle:
+                        left_manifest = json.load(handle)
+                    with open(right) as handle:
+                        right_manifest = json.load(handle)
+                    assert left_manifest.pop("timing")["runs"].keys()
+                    assert right_manifest.pop("timing")["runs"].keys()
+                    assert left_manifest == right_manifest
+                else:
+                    assert filecmp.cmp(left, right, shallow=False), name
+            assert not [f for f in cmp.diff_files if f != "manifest.json"]
             for sub in cmp.subdirs.values():
                 assert_identical(sub)
 
         assert_identical(comparison)
 
-    def test_exports_contain_no_wall_times(self, tmp_path):
+    def test_deterministic_artifacts_contain_no_wall_times(self, tmp_path):
+        """Wall clocks live only in the manifest's timing section."""
         records = SweepRunner().run([fast_request()])
         export_records(records, str(tmp_path))
         for root, _, files in os.walk(tmp_path):
             for name in files:
+                if name == "manifest.json":
+                    continue
                 with open(os.path.join(root, name)) as handle:
                     text = handle.read()
                 assert "wall" not in text.lower(), name
+
+    def test_manifest_timing_section(self, tmp_path):
+        request = fast_request()
+        records = SweepRunner().run([request])
+        export_records(records, str(tmp_path))
+        with open(os.path.join(str(tmp_path), "manifest.json")) as handle:
+            manifest = json.load(handle)
+        timing = manifest["timing"]
+        entry = timing["runs"][request.run_id]
+        assert entry["wall_s"] > 0
+        assert timing["total_wall_s"] >= entry["wall_s"]
 
 
 class TestExecuteAndExport:
