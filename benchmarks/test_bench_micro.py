@@ -13,6 +13,7 @@ INF = float("inf")
 
 def test_bench_engine_event_throughput(benchmark):
     """Raw event scheduling + dispatch rate of the simulation core."""
+    events = 20_000
 
     def run():
         engine = Engine()
@@ -20,14 +21,18 @@ def test_bench_engine_event_throughput(benchmark):
 
         def tick():
             count[0] += 1
-            if count[0] < 20_000:
+            if count[0] < events:
                 engine.schedule(1, tick)
 
         engine.schedule(0, tick)
         engine.run()
         return count[0]
 
-    assert benchmark(run) == 20_000
+    # CI's benchmark smoke derives events/s from this, not from a
+    # hard-coded constant: the floor check follows the micro if its
+    # event count ever changes.
+    benchmark.extra_info["events"] = events
+    assert benchmark(run) == events
 
 
 def test_bench_boe_overhearing(benchmark):

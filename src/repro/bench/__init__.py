@@ -116,6 +116,40 @@ def build_suite() -> List[BenchCase]:
                 repeat=2,
             )
         )
+    # Dynamic link state: Gilbert-Elliott loss on every link plus a
+    # churn/mobility schedule (down, move, up), so plan invalidation and
+    # BFS re-routing are part of the measured trajectory.
+    cases.append(
+        BenchCase(
+            "meshgen.churn.n25",
+            "scenario",
+            "meshgen",
+            _kw(
+                nodes=25,
+                loss="ge:0.02:0.25",
+                churn="down:3@6+move:5@10:150:150+up:3@14",
+                duration_s=20.0,
+                warmup_s=4.0,
+            ),
+            repeat=2,
+        )
+    )
+    cases.append(
+        BenchCase(
+            "meshgen.churn.quick.n25",
+            "scenario",
+            "meshgen",
+            _kw(
+                nodes=25,
+                loss="ge:0.02:0.25",
+                churn="down:3@2+move:5@4:150:150+up:3@6",
+                duration_s=8.0,
+                warmup_s=2.0,
+            ),
+            quick=True,
+            repeat=2,
+        )
+    )
     return cases
 
 

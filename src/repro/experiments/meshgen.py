@@ -6,8 +6,10 @@ multi-gateway tree (:mod:`repro.topology.meshgen`) — under a chosen
 workload mix (:mod:`repro.traffic.workloads`) and congestion-control
 algorithm, and reports the metrics the paper cares about: per-flow and
 aggregate goodput, Jain's fairness index, and queue backlog by hop
-ring. Swept over nodes x topology x workload x algorithm x seed by the
-sweep runner, it turns the evaluation into a hundreds-of-scenarios
+ring. Swept over nodes x topology x workload x algorithm x seed — plus
+the dynamic ``loss`` (per-link Bernoulli / Gilbert-Elliott erasures)
+and ``churn`` (node down/up, waypoint mobility) axes — by the sweep
+runner, it turns the evaluation into a hundreds-of-scenarios
 regression surface.
 
 Algorithms: ``none`` (standard 802.11), ``ezflow`` (the paper),
@@ -27,7 +29,9 @@ from repro.metrics.fairness import jain_fairness_index
 from repro.metrics.occupancy import group_mean_series, mean_occupancy_by_group
 from repro.metrics.sampling import BufferSampler
 from repro.net.node import FWD, OWN
+from repro.phy.linkstate import apply_loss_models, parse_loss_spec
 from repro.sim.units import seconds
+from repro.topology.churn import ChurnDriver, parse_churn_spec
 from repro.topology.meshgen import MeshSpec, build_mesh_network, mean_degree
 from repro.traffic.workloads import WorkloadSpec, attach_workload
 
@@ -79,12 +83,28 @@ def run(
     duration_s: float = 30.0,
     warmup_s: float = 5.0,
     seed: int = 11,
+    loss: str = "",
+    churn: str = "",
 ) -> ExperimentResult:
-    """Run one generated topology under one workload and algorithm."""
+    """Run one generated topology under one workload and algorithm.
+
+    ``loss`` and ``churn`` open the dynamic-link-state workload class:
+    ``loss`` installs a seeded per-link loss model on every reception
+    edge (``iid:P`` or ``ge:PGB:PBG[:PBAD[:PGOOD]]``, see
+    :mod:`repro.phy.linkstate`); ``churn`` schedules node down/up and
+    waypoint mobility events (``down:N@T+up:N@T+move:N@T:X:Y``, see
+    :mod:`repro.topology.churn`), each of which invalidates the
+    channel's delivery plans and re-runs BFS routing against the
+    mutated map. Both default to off, in which case the run — and its
+    exported bytes — is identical to the static harness. Hop counts and
+    occupancy rings are reported against the *initial* layout.
+    """
     if algorithm not in ALGORITHMS:
         raise ValueError(
             f"unknown algorithm {algorithm!r}; known: {', '.join(ALGORITHMS)}"
         )
+    loss_spec = parse_loss_spec(loss) if loss else None
+    churn_schedule = parse_churn_spec(churn) if churn else None
     spec = MeshSpec(
         kind=topology, nodes=nodes, density=density, gateways=gateways, seed=seed
     )
@@ -110,27 +130,43 @@ def run(
     elif algorithm == "penalty":
         apply_penalty(network.nodes, sources=set(sources), q=PENALTY_Q)
 
+    if loss_spec is not None:
+        apply_loss_models(network, loss_spec)
+    churn_driver = None
+    if churn_schedule is not None:
+        # The driver carries the loss spec so reception edges created by
+        # mobility/up events become lossy the moment they appear.
+        churn_driver = ChurnDriver(network, churn_schedule, loss_spec=loss_spec)
+        churn_driver.install()
+
     sampler = BufferSampler(network.engine, network.trace, network.nodes)
     sampler.start()
     network.run(until_us=seconds(duration_s))
     start, end = seconds(warmup_s), seconds(duration_s)
 
+    parameters = {
+        "topology": topology,
+        "nodes": nodes,
+        "density": density,
+        "gateways": gateways,
+        "flows": len(endpoints),
+        "workload": workload,
+        "algorithm": algorithm,
+        "rate_kbps": rate_kbps,
+        "duration_s": duration_s,
+        "seed": seed,
+    }
+    # Dynamic axes only appear in the exported parameters when set, so
+    # every static run keeps its pre-existing byte-identical artefacts.
+    if loss:
+        parameters["loss"] = loss
+    if churn:
+        parameters["churn"] = churn
     result = ExperimentResult(
         "meshgen",
         f"generated {topology} ({nodes} nodes) under {workload} workload, "
         f"algorithm {algorithm}",
-        parameters={
-            "topology": topology,
-            "nodes": nodes,
-            "density": density,
-            "gateways": gateways,
-            "flows": len(endpoints),
-            "workload": workload,
-            "algorithm": algorithm,
-            "rate_kbps": rate_kbps,
-            "duration_s": duration_s,
-            "seed": seed,
-        },
+        parameters=parameters,
     )
     result.note_runtime(network.engine)
 
@@ -146,6 +182,17 @@ def run(
         topo.attempts,
         "yes",  # build_mesh_network validates; reaching here proves it
     )
+
+    if loss or churn_driver is not None:
+        dynamics = result.table(
+            "Dynamic link state", ["loss_model", "lossy_links", "churn_events_applied"]
+        )
+        dynamics.add(
+            loss or "none",
+            # Final count: includes links churn created during the run.
+            network.channel.link_model_count(),
+            0 if churn_driver is None else len(churn_driver.applied),
+        )
 
     per_flow = result.table(
         "Per-flow goodput",

@@ -262,6 +262,19 @@ SPECS: Tuple[ScenarioSpec, ...] = (
             _duration(30.0),
             _warmup(5.0),
             _seed(11),
+            Param(
+                "loss",
+                "str",
+                "",
+                "per-link loss model: iid:P | ge:PGB:PBG[:PBAD[:PGOOD]] (empty = lossless)",
+            ),
+            Param(
+                "churn",
+                "str",
+                "",
+                "churn/mobility schedule, '+'-joined events: "
+                "down:N@T | up:N@T | move:N@T:X:Y (empty = static)",
+            ),
         ),
         sweep_defaults=(("topology", ("mesh", "grid", "tree")),),
     ),

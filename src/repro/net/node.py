@@ -165,6 +165,19 @@ class NodeStack:
         """Packets waiting in forwarding queues only."""
         return sum(len(q) for (kind, _), (q, _) in self._queues.items() if kind == FWD)
 
+    def invalidate_route_caches(self) -> None:
+        """Routing changed (churn re-route): drop per-destination caches.
+
+        The next packet per destination re-resolves its next hop through
+        the routing table and gets (or creates) the queue/entity for the
+        new successor. Packets already sitting in a queue toward the old
+        successor keep draining there — in-flight traffic follows the
+        path it was committed to, exactly like the channel's in-flight
+        frames resolving under their old delivery plan.
+        """
+        self._own_targets.clear()
+        self._fwd_targets.clear()
+
     # -- traffic entry (source role) ---------------------------------------
 
     def send(self, packet: Packet) -> bool:

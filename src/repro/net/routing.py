@@ -1,8 +1,11 @@
 """Static routing (the NOAH agent of the ns-2 experiments).
 
-Routes never change during a run, exactly as in the paper: both the
-testbed and the simulations pin routes to isolate MAC-layer effects from
-route flaps and routing-protocol overhead.
+Routes only change when topology does: the paper's scenarios pin routes
+for a whole run to isolate MAC-layer effects from route flaps, while
+churn/mobility schedules (:mod:`repro.topology.churn`) re-run BFS after
+each topology mutation and overwrite the affected next hops in place.
+Node stacks cache their per-destination queue resolution, so a re-route
+must also call ``NodeStack.invalidate_route_caches`` on every node.
 """
 
 from __future__ import annotations
@@ -54,6 +57,18 @@ class StaticRouting:
     def has_route(self, node: NodeId, destination: NodeId) -> bool:
         """True when a next hop is installed for (node, destination)."""
         return (node, destination) in self._next_hop
+
+    def destinations(self) -> List[NodeId]:
+        """Distinct destinations with at least one installed route.
+
+        Deterministically ordered (repr-sorted). This is what a churn
+        re-route recomputes: one fresh BFS tree per destination already
+        present in the tables (gateways, and the reverse routes of
+        windowed transports), so every live traffic direction follows
+        the mutated topology.
+        """
+        seen = {dst for (_node, dst) in self._next_hop}
+        return sorted(seen, key=repr)
 
     def successors_of(self, node: NodeId) -> List[NodeId]:
         """Distinct next hops this node forwards to (queue-per-successor)."""

@@ -16,10 +16,14 @@ EZ-flow's BOE relies on. Sensed-but-undecodable frame ends are reported
 via ``on_frame_error`` so the MAC can apply EIFS.
 
 Implementation notes (this is the hottest module of the simulator):
-connectivity is static between configuration calls, so per-sender
-"delivery plans" — the repr-sorted attached listeners with their receive
-power, decodability and loss probabilities — are built lazily on a
-sender's *first transmission* and reused by every subsequent frame
+connectivity is static between configuration calls and topology
+mutations (each mutation bumps the map's epoch; plans are tagged with
+the epoch they were built under and rebuild lazily per sender, while
+in-flight frames resolve under the plan snapshotted at transmit time).
+Per-sender "delivery plans" — the repr-sorted attached listeners with
+their receive power, decodability and loss probabilities — are built
+lazily on a sender's *first transmission* and reused by every
+subsequent frame
 (senders that never transmit never pay a plan build; a 100-node mesh
 with four flows builds plans for the handful of nodes actually on air).
 Plan rows come in two shapes: full rows for nodes that can decode the
@@ -167,6 +171,11 @@ class Channel:
         self._ports: Dict[NodeId, ChannelPort] = {}
         # Directional erasure probability per (sender, receiver).
         self._loss: Dict[tuple, float] = {}
+        # Directional *stateful* loss models per (sender, receiver) —
+        # see repro.phy.linkstate. A configured model takes precedence
+        # over the static probability on the same link; the plan row's
+        # loss slot then carries the model object instead of a float.
+        self._link_models: Dict[tuple, object] = {}
         # Probability an otherwise decodable *overheard* frame is missed
         # by the sniffer at a given node (BOE robustness experiments).
         self._overhear_loss: Dict[NodeId, float] = {}
@@ -186,6 +195,13 @@ class Channel:
         # capture ratio, so they survive attach/loss reconfiguration.
         self._node_powers: Dict[NodeId, Dict[NodeId, float]] = {}
         self._capture_sets: Dict[frozenset, frozenset] = {}
+        # Connectivity epoch the cached plans (and power maps) were
+        # built under. Dynamic maps (churn/mobility) bump their epoch on
+        # mutation; a mismatch invalidates every cached plan lazily —
+        # in-flight transmissions keep the plan snapshotted at transmit
+        # time, so frames already on the air resolve under the topology
+        # they started in.
+        self._plan_epoch: int = connectivity.epoch
 
     # -- wiring ---------------------------------------------------------
 
@@ -206,8 +222,45 @@ class Channel:
         """Set the erasure probability of the directed link sender->receiver."""
         if not 0.0 <= probability <= 1.0:
             raise ValueError("probability must be in [0, 1]")
-        self._loss[(sender, receiver)] = probability
+        self._loss[(sender, receiver)] = float(probability)
         self._plans.clear()
+
+    def set_link_model(self, sender: NodeId, receiver: NodeId, model) -> None:
+        """Install a stateful loss model on the directed link sender->receiver.
+
+        ``model`` is consulted once per otherwise-decodable frame end at
+        the receiver (``model.erased() -> bool``; see
+        :mod:`repro.phy.linkstate`) and takes precedence over any static
+        :meth:`set_link_loss` probability on the same link. ``None``
+        removes the model. Models draw from their own per-link RNG
+        streams, so installing them never perturbs the channel's shared
+        erasure stream — lossless runs stay bit-identical.
+        """
+        if model is None:
+            self._link_models.pop((sender, receiver), None)
+        else:
+            self._link_models[(sender, receiver)] = model
+        self._plans.clear()
+
+    def link_model(self, sender: NodeId, receiver: NodeId):
+        """The installed loss model of the directed link, or ``None``."""
+        return self._link_models.get((sender, receiver))
+
+    def link_model_count(self) -> int:
+        """Number of directed links carrying a stateful loss model."""
+        return len(self._link_models)
+
+    def connectivity_changed(self) -> None:
+        """Invalidate every topology-derived cache after a map mutation.
+
+        Callers mutating :attr:`connectivity` through its mutation API
+        need not call this — the epoch check in :meth:`_plan_for` (and
+        on the transmit path) catches the change — but invalidating
+        eagerly keeps the caches honest for direct inspection.
+        """
+        self._plans.clear()
+        self._node_powers.clear()
+        self._plan_epoch = self.connectivity.epoch
 
     def set_overhear_loss(self, node_id: NodeId, probability: float) -> None:
         """Set the sniffer miss probability at ``node_id``."""
@@ -255,7 +308,19 @@ class Channel:
         transmit entity is re-partitioned via
         :meth:`activate_listener`, which also patches the plans of
         in-flight frames — so the split never loses a busy/idle edge.
+
+        Plans are tagged with the connectivity epoch they were built
+        under: a dynamic map mutation (churn, mobility) invalidates the
+        whole cache here, wholesale, and each sender rebuilds lazily on
+        its next transmission. The per-node power maps are dropped too
+        (they depend on positions); the capture-set intern table is
+        content-keyed and survives.
         """
+        epoch = self.connectivity.epoch
+        if epoch != self._plan_epoch:
+            self._plans.clear()
+            self._node_powers.clear()
+            self._plan_epoch = epoch
         plans = self._plans.get(sender)
         if plans is None:
             connectivity = self.connectivity
@@ -303,7 +368,10 @@ class Channel:
                             listener.on_frame_received,
                             listener.on_frame_overheard,
                             listener.on_frame_error,
-                            self._loss.get((sender, node), 0.0),
+                            # Stateful model if installed, else the
+                            # static probability (0.0 = lossless).
+                            self._link_models.get((sender, node))
+                            or self._loss.get((sender, node), 0.0),
                             self._overhear_loss.get(node, 0.0),
                         )
                     )
@@ -395,7 +463,7 @@ class Channel:
 
         corrupted = None
         plans = self._plans.get(sender)
-        if plans is None:
+        if plans is None or self._plan_epoch != self.connectivity.epoch:
             plans = self._plan_for(sender)
         tx.rx_plan = plans
         if not plans[0]:
@@ -507,8 +575,16 @@ class Channel:
             port, node, sensed, on_idle, on_rx, on_over, on_err, loss, miss = row
             sensed.discard(tx)
             decodable = corrupted is None or node not in corrupted
-            if decodable and loss and rng_random() < loss:
-                decodable = False
+            if decodable and loss:
+                # The loss slot is either a static probability (drawn
+                # from the shared erasure stream — the original path,
+                # draw-for-draw) or a stateful per-link model with its
+                # own stream (repro.phy.linkstate).
+                if loss.__class__ is float:
+                    if rng_random() < loss:
+                        decodable = False
+                elif loss.erased():
+                    decodable = False
             if decodable:
                 if dst == node:
                     bump_rx_ok()

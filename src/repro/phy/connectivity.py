@@ -23,7 +23,19 @@ SENSE_ONLY_POWER = 0.05
 
 
 class ConnectivityMap:
-    """Interface: reception and carrier-sense relations between nodes."""
+    """Interface: reception and carrier-sense relations between nodes.
+
+    Maps may be *dynamic*: :attr:`epoch` counts mutations (node churn,
+    mobility steps). Consumers that cache derived structures — the
+    channel's per-sender delivery plans above all — tag their caches
+    with the epoch they were built under and rebuild lazily when the
+    map's epoch has moved on. Static maps simply never bump it.
+    """
+
+    #: Mutation counter. 0 forever for immutable maps; implementations
+    #: with a mutation API (see :class:`GeometricConnectivity`) bump it
+    #: on every topology change.
+    epoch: int = 0
 
     def nodes(self) -> FrozenSet[NodeId]:
         """All node ids this map covers."""
@@ -75,11 +87,22 @@ class ConnectivityMap:
 
 
 class GeometricConnectivity(ConnectivityMap):
-    """Connectivity from positions and deterministic radii."""
+    """Connectivity from positions and deterministic radii.
+
+    This is the *mutable* map: :meth:`move_node` (waypoint mobility
+    steps) and :meth:`set_node_active` (churn: radio off/on) update the
+    edge sets incrementally and bump :attr:`epoch`, so channel delivery
+    plans built under the previous topology invalidate lazily. A down
+    node keeps its id and position but has no edges in either direction
+    and zero received power — frames it sends reach nobody, frames sent
+    to it die, and it occupies no one's medium.
+    """
 
     def __init__(self, positions: Mapping[NodeId, Position], ranges: RangeModel):
         self.positions: Dict[NodeId, Position] = dict(positions)
         self.ranges = ranges
+        self.epoch = 0
+        self._down: Set[NodeId] = set()
         self._rx: Dict[NodeId, FrozenSet[NodeId]] = {}
         self._sense: Dict[NodeId, FrozenSet[NodeId]] = {}
         self._build()
@@ -110,12 +133,86 @@ class GeometricConnectivity(ConnectivityMap):
             self._rx[a] = frozenset(rx[a])
             self._sense[a] = frozenset(sense[a])
 
+    # -- mutation API (churn / mobility) --------------------------------
+
+    def is_active(self, node: NodeId) -> bool:
+        """False while ``node`` is churned down (radio off)."""
+        return node not in self._down
+
+    def _detach_edges(self, node: NodeId) -> None:
+        """Remove ``node`` from every edge set (both directions)."""
+        for other in self._sense.get(node, ()):
+            self._sense[other] = self._sense[other] - {node}
+        for other in self._rx.get(node, ()):
+            self._rx[other] = self._rx[other] - {node}
+        self._rx[node] = frozenset()
+        self._sense[node] = frozenset()
+
+    def _attach_edges(self, node: NodeId) -> None:
+        """Recompute ``node``'s edges against every active other node."""
+        position = self.positions[node]
+        can_sense = self.ranges.can_sense
+        can_receive = self.ranges.can_receive
+        down = self._down
+        rx_n: Set[NodeId] = set()
+        sense_n: Set[NodeId] = set()
+        for other, other_position in self.positions.items():
+            if other == node or other in down:
+                continue
+            d = distance(position, other_position)
+            if can_sense(d):
+                sense_n.add(other)
+                self._sense[other] = self._sense[other] | {node}
+                if can_receive(d):
+                    rx_n.add(other)
+                    self._rx[other] = self._rx[other] | {node}
+        self._rx[node] = frozenset(rx_n)
+        self._sense[node] = frozenset(sense_n)
+
+    def move_node(self, node: NodeId, position: Position) -> None:
+        """Waypoint mobility step: teleport ``node`` to ``position``.
+
+        Edges of ``node`` are recomputed against every active node
+        (O(N)); everyone else's pairwise relations are untouched. Bumps
+        :attr:`epoch` even while the node is down — its position matters
+        again the moment it comes back up.
+        """
+        if node not in self.positions:
+            raise ValueError(f"node {node!r} not in connectivity map")
+        self.positions[node] = (float(position[0]), float(position[1]))
+        if node not in self._down:
+            self._detach_edges(node)
+            self._attach_edges(node)
+        self.epoch += 1
+
+    def set_node_active(self, node: NodeId, active: bool) -> None:
+        """Churn: take ``node`` down (radio off) or bring it back up.
+
+        Idempotent — repeating the current state does not bump the
+        epoch. A node coming back up recomputes its edges at its
+        current (possibly moved-while-down) position.
+        """
+        if node not in self.positions:
+            raise ValueError(f"node {node!r} not in connectivity map")
+        if active and node in self._down:
+            self._down.discard(node)
+            self._attach_edges(node)
+            self.epoch += 1
+        elif not active and node not in self._down:
+            self._down.add(node)
+            self._detach_edges(node)
+            self.epoch += 1
+
+    # -- queries --------------------------------------------------------
+
     def nodes(self) -> FrozenSet[NodeId]:
         return frozenset(self.positions)
 
     def rx_power(self, receiver: NodeId, sender: NodeId) -> float:
         """Two-ray far-field power: d^-4 (relative), 0 beyond sensing."""
         if receiver == sender:
+            return 0.0
+        if self._down and (receiver in self._down or sender in self._down):
             return 0.0
         d = distance(self.positions[receiver], self.positions[sender])
         if d <= 0 or not self.ranges.can_sense(d):

@@ -121,11 +121,14 @@ def is_connected(connectivity: ConnectivityMap) -> bool:
     return len(seen) == len(nodes)
 
 
-def _bfs_tree(connectivity: ConnectivityMap, root: int) -> Tuple[Dict[int, int], Dict[int, int]]:
+def bfs_tree(connectivity: ConnectivityMap, root: int) -> Tuple[Dict[int, int], Dict[int, int]]:
     """Hop counts and next-hop-toward-root pointers from every node.
 
     Neighbours are visited in sorted order so the tree — and therefore
-    every installed route — is a pure function of the layout.
+    every installed route — is a pure function of the layout. Nodes the
+    reception graph cannot reach from ``root`` (possible after churn)
+    simply do not appear in either mapping. Churn re-routing
+    (:mod:`repro.topology.churn`) calls this against the mutated map.
     """
     depths = {root: 0}
     parents: Dict[int, int] = {}
@@ -302,7 +305,7 @@ def generate_topology(spec: MeshSpec) -> MeshTopology:
         connectivity=connectivity,
     )
     for gateway in topology.gateways:
-        depths, parents = _bfs_tree(connectivity, gateway)
+        depths, parents = bfs_tree(connectivity, gateway)
         topology.depths[gateway] = depths
         topology.parents[gateway] = parents
     for node in sorted(positions):
