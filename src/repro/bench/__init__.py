@@ -168,6 +168,7 @@ def run_case(case: BenchCase, repeat: Optional[int] = None) -> Dict[str, object]
     best_wall = None
     events: Optional[float] = None
     sim_ticks: Optional[float] = None
+    best_scalars: Optional[Dict[str, float]] = None
     for _ in range(rounds):
         testbedlab.clear_cache()
         gc.collect()
@@ -178,8 +179,10 @@ def run_case(case: BenchCase, repeat: Optional[int] = None) -> Dict[str, object]
             wall = time.perf_counter() - started
             round_events = float(stats.get("events", 0)) or None
             round_ticks = None
+            round_scalars = None
         else:
             from repro.experiments.specs import get_spec
+            from repro.results import RunResult
 
             spec = get_spec(case.target)
             started = time.perf_counter()
@@ -187,10 +190,16 @@ def run_case(case: BenchCase, repeat: Optional[int] = None) -> Dict[str, object]
             wall = time.perf_counter() - started
             round_events = result.runtime.get("events")
             round_ticks = result.runtime.get("sim_ticks")
+            # Keep only the small scalar dict, never the result itself:
+            # holding a full result (series, tables) across the
+            # remaining rounds would defeat the per-round gc isolation.
+            round_scalars = RunResult.from_result(result).numeric_scalars()
+            del result
         if best_wall is None or wall < best_wall:
             best_wall = wall
             events = round_events
             sim_ticks = round_ticks
+            best_scalars = round_scalars
     entry: Dict[str, object] = {
         "kind": case.kind,
         "kwargs": case.kwargs_dict,
@@ -202,6 +211,14 @@ def run_case(case: BenchCase, repeat: Optional[int] = None) -> Dict[str, object]
     }
     if sim_ticks:
         entry["sim_s"] = round(sim_ticks / 1e6, 6)
+    if best_scalars is not None:
+        # Scenario cases also record their headline scalar metrics (via
+        # the typed results layer), so a bench report documents *what*
+        # was computed alongside how fast — and a perf change that
+        # shifts semantics shows up in the same file. Scalars are
+        # deterministic; comparisons still match cases on name+kwargs
+        # only, so older baselines without the key stay comparable.
+        entry["scalars"] = best_scalars
     return entry
 
 

@@ -1,10 +1,11 @@
-"""CLI: regenerate paper tables/figures and run parameter sweeps.
+"""CLI: regenerate paper tables/figures, run sweeps, compare algorithms.
 
 Subcommands::
 
-    list                      catalogue of scenarios and their parameters
+    list [--json]             catalogue of scenarios and their parameters
     run <ids...|all>          run one, several, or all experiments
     sweep <id> --grid k=v,..  cartesian parameter-grid sweep of one scenario
+    compare <id|dir>          cross-run delta table vs. a baseline variant
 
 Examples::
 
@@ -18,10 +19,21 @@ Examples::
         --replicates 3 --base-seed 9
     python -m repro.experiments sweep meshgen --set nodes=16,25 \\
         --set algorithm=none,ezflow,diffq --jobs 2 --out results/meshgen
+    python -m repro.experiments compare meshgen --set nodes=16 \\
+        --set algorithm=none,ezflow,diffq --baseline algorithm=none --jobs 2
+    python -m repro.experiments compare results/meshgen   # previously exported
 
 ``sweep`` accepts ``--set`` as an alias of ``--grid``; scenarios may
 declare default sweep axes (meshgen expands over every topology kind
 unless ``--set topology=...`` pins one).
+
+``compare`` renders the algorithm-delta table (goodput/fairness/delivery
+vs. ``--baseline algorithm=none`` by default) either from a live sweep
+(first argument is a scenario id) or from a previously exported ``--out``
+directory (first argument is a directory). The table is byte-identical
+in both modes and at any ``--jobs`` count. These subcommands are thin
+shells over the stable programmatic API in :mod:`repro.results`
+(``Study`` / ``ResultSet`` / ``compare``).
 
 Legacy spelling (``python -m repro.experiments fig1 --seed 2``) still
 works: a first argument that is not a subcommand is treated as ``run``.
@@ -42,15 +54,14 @@ themselves instead of being mislabelled "unknown option".
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 from typing import Dict, List, Optional
 
 from repro.experiments.runner import (
     RunRecord,
-    SweepRunner,
     catalogue_requests,
-    default_jobs,
-    grid_requests,
     request_for,
 )
 from repro.experiments.specs import (
@@ -58,12 +69,21 @@ from repro.experiments.specs import (
     ScenarioSpec,
     UnknownExperimentError,
     UnknownParameterError,
+    catalogue,
     get_spec,
     spec_ids,
     SPECS,
 )
+from repro.results import (
+    ComparisonError,
+    ResultSet,
+    Study,
+    compare,
+    execute_requests,
+    render_compare,
+)
 
-SUBCOMMANDS = ("run", "sweep", "list")
+SUBCOMMANDS = ("run", "sweep", "list", "compare")
 
 
 def _add_jobs_out(parser: argparse.ArgumentParser) -> None:
@@ -147,7 +167,71 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_jobs_out(sweep)
 
-    sub.add_parser("list", help="print the scenario catalogue")
+    cmp = sub.add_parser(
+        "compare", help="cross-run delta table vs. a baseline variant"
+    )
+    cmp.add_argument(
+        "target",
+        metavar="ID|DIR",
+        help="scenario id to sweep live, or an exported --out directory to load",
+    )
+    cmp.add_argument(
+        "--grid",
+        action="append",
+        default=[],
+        metavar="KEY=V1,V2,...",
+        dest="grid_axes",
+        help="one grid axis for a live sweep (repeatable)",
+    )
+    cmp.add_argument(
+        "--set",
+        action="append",
+        metavar="KEY=V1,V2,...",
+        dest="grid_axes",
+        help="alias of --grid",
+    )
+    cmp.add_argument(
+        "--baseline",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="baseline variant filter (repeatable; default algorithm=none)",
+    )
+    cmp.add_argument(
+        "--metrics",
+        default=None,
+        metavar="M1,M2,...",
+        help="scalar metrics to compare (default: goodput/fairness/delivery)",
+    )
+    cmp.add_argument(
+        "--align",
+        default=None,
+        metavar="K1,K2,...",
+        help="parameters identifying an aligned layout "
+        "(default: every varying non-baseline parameter)",
+    )
+    cmp.add_argument(
+        "--replicates",
+        type=int,
+        default=1,
+        help="seed-axis size: every grid point runs the same derived "
+        "seed set, so replicate k aligns across variants (default 1)",
+    )
+    cmp.add_argument(
+        "--base-seed",
+        type=int,
+        default=None,
+        help="base for the derived seed axis (default: the scenario's "
+        "declared default seed)",
+    )
+    _add_jobs_out(cmp)
+
+    lst = sub.add_parser("list", help="print the scenario catalogue")
+    lst.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable catalogue (ids, params, defaults, sweep axes)",
+    )
     return parser
 
 
@@ -196,19 +280,21 @@ def _print_record(record: RunRecord) -> None:
     print()
 
 
-def _run_batch(requests, jobs: int, out: Optional[str]) -> None:
+def _run_batch(requests, jobs: int, out: Optional[str]) -> ResultSet:
     if jobs < 0:
         raise ParameterValueError("--jobs must be >= 0 (0 = all available cores)")
-    with SweepRunner(jobs=default_jobs() if jobs == 0 else jobs) as runner:
-        records = runner.run(requests, on_record=_print_record)
+    results = execute_requests(requests, jobs=jobs, on_record=_print_record)
     if out is not None:
-        from repro.experiments.export import export_records
+        results.save(out)
+        print(f"exported {len(results)} run(s) to {out}", file=sys.stderr)
+    return results
 
-        export_records(records, out)
-        print(f"exported {len(records)} run(s) to {out}", file=sys.stderr)
 
-
-def cmd_list() -> int:
+def cmd_list(args) -> int:
+    if args.json:
+        json.dump(catalogue(), sys.stdout, sort_keys=True, indent=2)
+        print()
+        return 0
     for spec in SPECS:
         aliases = f" (aliases: {', '.join(spec.aliases)})" if spec.aliases else ""
         print(f"{spec.id}: {spec.description}{aliases}")
@@ -243,23 +329,109 @@ def cmd_run(args) -> int:
     return 0
 
 
+def _build_study(spec: ScenarioSpec, args, aligned_seeds: bool = False) -> Study:
+    """A Study from parsed CLI axes + replicate options.
+
+    ``sweep`` keeps the legacy replicate semantics (a distinct seed per
+    global run index, ``--replicates > 1`` requiring ``--base-seed`` or
+    a seed axis). ``compare`` passes ``aligned_seeds=True``: replicates
+    become a shared seed *axis* (:meth:`Study.seeds`), because
+    per-run-index seeds would give baseline and variant runs different
+    layouts and no aligned group would ever pair them.
+    """
+    study = Study(spec.id)
+    for name, values in _parse_grid(args.grid_axes, spec).items():
+        study.grid(**{name: list(values)})
+    if aligned_seeds:
+        if args.replicates < 1:
+            raise ParameterValueError("--replicates must be >= 1")
+        if args.replicates > 1 or args.base_seed is not None:
+            study.seeds(args.replicates, base=args.base_seed)
+    else:
+        study.replicates(args.replicates, base_seed=args.base_seed)
+    return study
+
+
 def cmd_sweep(args) -> int:
     spec = get_spec(args.experiment)
-    grid = _parse_grid(args.grid_axes, spec)
-    # Axes the scenario sweeps by default unless the CLI pinned them
-    # (e.g. meshgen expands over every topology kind).
-    for name, values in spec.sweep_defaults:
-        if name not in grid:
-            grid[name] = list(values)
-    requests = grid_requests(
-        spec.id, grid, base_seed=args.base_seed, replicates=args.replicates
-    )
+    # Scenario default axes (e.g. meshgen's topology kinds) expand
+    # unless the CLI pinned them — the Study builder applies that rule.
+    study = _build_study(spec, args)
+    requests = study.requests()
     print(
         f"sweep {spec.id}: {len(requests)} run(s) "
-        f"({len(grid)} axis/axes, {args.replicates} replicate(s))",
+        f"({len(study.axes())} axis/axes, {args.replicates} replicate(s))",
         file=sys.stderr,
     )
     _run_batch(requests, args.jobs, args.out)
+    return 0
+
+
+def _parse_baseline(assignments: List[str]) -> Optional[Dict[str, str]]:
+    baseline: Dict[str, str] = {}
+    for assignment in assignments:
+        key, sep, value = assignment.partition("=")
+        if not sep or not key:
+            raise ParameterValueError(
+                f"--baseline expects KEY=VALUE, got {assignment!r}"
+            )
+        baseline[key.strip()] = value.strip()
+    return baseline or None  # None -> the default baseline (algorithm=none)
+
+
+def cmd_compare(args) -> int:
+    if args.jobs < 0:
+        raise ParameterValueError("--jobs must be >= 0 (0 = all available cores)")
+    baseline = _parse_baseline(args.baseline)
+    metrics = (
+        [m.strip() for m in args.metrics.split(",") if m.strip()]
+        if args.metrics is not None
+        else None
+    )
+    align = (
+        [k.strip() for k in args.align.split(",") if k.strip()]
+        if args.align is not None
+        else None
+    )
+    # A bare scenario id always means a live sweep, even if a directory
+    # of the same name happens to exist; spell directories with a path
+    # separator (results/meshgen, ./meshgen) to load an export instead.
+    is_spec_id = os.sep not in args.target and args.target in spec_ids()
+    if not is_spec_id and os.path.isdir(args.target):
+        if args.grid_axes or args.replicates != 1 or args.base_seed is not None:
+            raise ParameterValueError(
+                "--set/--grid/--replicates/--base-seed only apply to live "
+                "sweeps, not directory targets"
+            )
+        results = ResultSet.load(args.target)
+        print(f"loaded {len(results)} run(s) from {args.target}", file=sys.stderr)
+    else:
+        spec = get_spec(args.target)
+        requests = _build_study(spec, args, aligned_seeds=True).requests()
+        print(f"compare {spec.id}: sweeping {len(requests)} run(s)", file=sys.stderr)
+
+        def progress(record: RunRecord) -> None:
+            print(
+                f"  {record.request.run_id} ({record.wall_s:.1f} s)",
+                file=sys.stderr,
+            )
+
+        results = execute_requests(requests, jobs=args.jobs, on_record=progress)
+        if args.out is not None:
+            results.save(args.out)
+            print(f"exported {len(results)} run(s) to {args.out}", file=sys.stderr)
+    try:
+        table = compare(results, baseline=baseline, metrics=metrics, align=align)
+    except ComparisonError as error:
+        print(error, file=sys.stderr)
+        return 2
+    rendered = render_compare(table)
+    print(rendered)
+    if args.out is not None:
+        os.makedirs(args.out, exist_ok=True)
+        with open(os.path.join(args.out, "compare.md"), "w") as handle:
+            handle.write(rendered + "\n")
+        print(f"wrote {os.path.join(args.out, 'compare.md')}", file=sys.stderr)
     return 0
 
 
@@ -271,9 +443,11 @@ def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     try:
         if args.command == "list":
-            return cmd_list()
+            return cmd_list(args)
         if args.command == "run":
             return cmd_run(args)
+        if args.command == "compare":
+            return cmd_compare(args)
         return cmd_sweep(args)
     except (UnknownParameterError, ParameterValueError, UnknownExperimentError) as error:
         # Only CLI-input errors are caught; errors raised inside an

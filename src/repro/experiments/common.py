@@ -99,6 +99,31 @@ class ExperimentResult:
                 return table
         raise KeyError(f"no table matching {title_fragment!r}")
 
+    def scalars(self) -> Dict[str, object]:
+        """Flatten every single-row table into named scalar metrics.
+
+        A table with exactly one row is a scalar summary (meshgen's
+        ``Summary``, the ``Topology`` shape table, ...): each column
+        becomes one named value. Column names unique across the
+        single-row tables map bare; a name used by several tables is
+        prefixed with its table title (lowercased, spaces to ``_``) so
+        nothing is silently shadowed. Purely derived — never serialized
+        by :meth:`to_dict` — so exposing scalars cannot change exported
+        bytes.
+        """
+        single = [t for t in self.tables if len(t.rows) == 1]
+        counts: Dict[str, int] = {}
+        for table in single:
+            for column in table.columns:
+                counts[column] = counts.get(column, 0) + 1
+        scalars: Dict[str, object] = {}
+        for table in single:
+            prefix = table.title.strip().lower().replace(" ", "_")
+            for column, value in zip(table.columns, table.rows[0]):
+                name = column if counts[column] == 1 else f"{prefix}.{column}"
+                scalars[name] = value
+        return scalars
+
     def to_dict(self) -> Dict[str, object]:
         """Plain-data form (JSON-safe given JSON-safe cell values).
 
@@ -120,11 +145,21 @@ class ExperimentResult:
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "ExperimentResult":
-        """Inverse of :meth:`to_dict` (series points become tuples)."""
+        """Inverse of :meth:`to_dict` (series points become tuples).
+
+        Sequence-valued parameters come back as tuples: the declared
+        sequence parameter kinds (``ints``/``floats``) always coerce to
+        tuples in memory, JSON just cannot spell them — restoring the
+        tuple makes a loaded result render (and re-export) exactly like
+        the in-memory original.
+        """
         result = cls(
             experiment=data["experiment"],
             description=data["description"],
-            parameters=dict(data.get("parameters", {})),
+            parameters={
+                key: tuple(value) if isinstance(value, list) else value
+                for key, value in dict(data.get("parameters", {})).items()
+            },
             notes=list(data.get("notes", [])),
         )
         for t in data.get("tables", []):

@@ -18,6 +18,7 @@ import csv
 import json
 import os
 import time
+import warnings
 from typing import Iterable, List, Optional
 
 from repro.experiments import get_experiment
@@ -177,7 +178,19 @@ def export_records(records: Iterable, out_dir: str) -> List[str]:
 
 
 def main(argv=None) -> int:
-    """CLI entry point: run one experiment and export its artefacts."""
+    """Deprecated CLI entry point: run one experiment and export it.
+
+    Superseded by ``python -m repro.experiments run <id> --out DIR``
+    (same artefacts plus manifest and index) and, programmatically, by
+    :meth:`repro.results.RunResult.save`. One-release shim.
+    """
+    warnings.warn(
+        "`python -m repro.experiments.export` is deprecated; use "
+        "`python -m repro.experiments run <id> --out DIR` "
+        "(shim will be removed after one release)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments.export",
         description="Run an experiment and export its series/tables to files.",

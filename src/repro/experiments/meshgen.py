@@ -30,6 +30,7 @@ from repro.metrics.occupancy import group_mean_series, mean_occupancy_by_group
 from repro.metrics.sampling import BufferSampler
 from repro.net.node import FWD, OWN
 from repro.phy.linkstate import apply_loss_models, parse_loss_spec
+from repro.results.metrics import MESHGEN_SUMMARY_COLUMNS
 from repro.sim.units import seconds
 from repro.topology.churn import ChurnDriver, parse_churn_spec
 from repro.topology.meshgen import MeshSpec, build_mesh_network, mean_degree
@@ -229,10 +230,10 @@ def run(
             flow.mean_path_delay_s(start, end),
         )
 
-    summary = result.table(
-        "Summary",
-        ["jain_fairness", "aggregate_kbps", "delivered_ratio", "relay_backlog"],
-    )
+    # Column names are the canonical scalar-metric names the results
+    # layer (repro.results) compares across runs; the constant keeps
+    # harness, compare tables and docs in sync without changing bytes.
+    summary = result.table("Summary", list(MESHGEN_SUMMARY_COLUMNS))
     relays = sorted(n for n in topo.positions if n not in topo.gateways)
     relay_backlog = sum(network.nodes[n].total_buffer_occupancy() for n in relays)
     summary.add(

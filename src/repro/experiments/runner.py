@@ -24,6 +24,7 @@ import itertools
 import multiprocessing
 import os
 import time
+import warnings
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
@@ -101,7 +102,7 @@ def expand_grid(grid: Mapping[str, Sequence[object]]) -> List[Dict[str, object]]
     return [dict(zip(keys, combo)) for combo in combos]
 
 
-def grid_requests(
+def _grid_requests(
     spec_id: str,
     grid: Mapping[str, Sequence[object]],
     base_seed: Optional[int] = None,
@@ -115,6 +116,10 @@ def grid_requests(
     ``base_seed`` and without a seed axis, every replicate runs the
     scenario's default seed (replicates > 1 then only make sense for
     timing, so ``replicates`` requires one of the two).
+
+    Internal: :class:`repro.results.Study` is the public way to build
+    grid sweeps (the deprecated :func:`grid_requests` shim remains for
+    one release).
     """
     if replicates < 1:
         raise ValueError("replicates must be >= 1")
@@ -137,6 +142,28 @@ def grid_requests(
             requests.append(request_for(spec.id, kwargs, run_id=run_id))
             index += 1
     return requests
+
+
+def grid_requests(
+    spec_id: str,
+    grid: Mapping[str, Sequence[object]],
+    base_seed: Optional[int] = None,
+    replicates: int = 1,
+) -> List[RunRequest]:
+    """Deprecated: build sweeps with :class:`repro.results.Study` instead.
+
+    One-release shim with identical behaviour (same requests, same run
+    ids); will be removed once callers have migrated to the Study
+    builder, which layers default axes, seed handling and ResultSet
+    collection on top of the same request construction.
+    """
+    warnings.warn(
+        "grid_requests() is deprecated; build sweeps with repro.results.Study "
+        "(shim will be removed after one release)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _grid_requests(spec_id, grid, base_seed=base_seed, replicates=replicates)
 
 
 def catalogue_requests(
@@ -218,18 +245,33 @@ class SweepRunner:
         self.close()
 
     def __del__(self):  # pragma: no cover - GC fallback
+        # May run during interpreter shutdown, where even the machinery
+        # this method needs (module globals, exception classes) can be
+        # half torn down — swallow absolutely everything.
         try:
             self.close()
-        except Exception:
+        except BaseException:
             pass
 
     def close(self) -> None:
-        """Terminate the persistent worker pool (idempotent)."""
-        if self._pool is not None:
-            self._pool.terminate()
-            self._pool.join()
-            self._pool = None
-            self._pool_workers = 0
+        """Terminate the persistent worker pool (idempotent).
+
+        Safe to call from ``__del__`` at interpreter shutdown: a runner
+        collected that late may find ``multiprocessing``'s module
+        globals already set to ``None``, which surfaces as
+        ``AttributeError``/``TypeError`` from ``terminate``/``join`` —
+        the pool is dropped regardless and the OS reaps the workers.
+        """
+        pool = getattr(self, "_pool", None)
+        self._pool = None
+        self._pool_workers = 0
+        if pool is None:
+            return
+        try:
+            pool.terminate()
+            pool.join()
+        except (AttributeError, TypeError):  # pragma: no cover - shutdown races
+            pass
 
     def _ensure_pool(self, needed: int):
         """The persistent pool, sized to the demand actually seen.

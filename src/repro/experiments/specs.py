@@ -144,6 +144,38 @@ class ScenarioSpec:
         """Validate kwargs and execute the scenario."""
         return self.resolve()(**self.validate(kwargs))
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe catalogue entry: id, params, defaults, sweep axes.
+
+        This is what ``python -m repro.experiments list --json`` emits,
+        so the Study builder and external tools can introspect the
+        catalogue without importing any harness module (sequence-kind
+        defaults render as lists).
+        """
+
+        def jsonable(value: object) -> object:
+            return list(value) if isinstance(value, tuple) else value
+
+        return {
+            "id": self.id,
+            "description": self.description,
+            "entry": self.entry,
+            "aliases": list(self.aliases),
+            "params": [
+                {
+                    "name": p.name,
+                    "kind": p.kind,
+                    "default": jsonable(p.default),
+                    "help": p.help,
+                }
+                for p in self.params
+            ],
+            "sweep_defaults": [
+                {"name": name, "values": [jsonable(v) for v in values]}
+                for name, values in self.sweep_defaults
+            ],
+        }
+
 
 def _seed(default: int) -> Param:
     return Param("seed", "int", default, "master RNG seed")
@@ -305,6 +337,18 @@ def spec_ids(include_aliases: bool = True):
     if include_aliases:
         return sorted(_BY_ID)
     return sorted(spec.id for spec in SPECS)
+
+
+def catalogue() -> Dict[str, object]:
+    """The whole scenario catalogue as one JSON-safe document.
+
+    Schema-versioned so downstream tooling can detect layout changes;
+    experiments appear in declaration (= ``list``) order.
+    """
+    return {
+        "schema": "repro.experiments/catalogue/1",
+        "experiments": [spec.to_dict() for spec in SPECS],
+    }
 
 
 def get_spec(spec_id: str) -> ScenarioSpec:

@@ -1,0 +1,50 @@
+"""The first-class results API: the repo's stable programmatic surface.
+
+Everything analysis code, notebooks and external tooling should touch
+lives here (see EXPERIMENTS.md, "Programmatic API"):
+
+* :class:`RunResult` — one run, typed: parameters, scalar metrics,
+  named series, tables. Constructible in memory from a sweep record or
+  by loading an exported run directory; both forms save byte-identical
+  artefacts.
+* :class:`ResultSet` — an ordered collection with pandas-free
+  relational verbs (``filter``, ``split_by``, ``align_on``,
+  ``scalars_frame``) plus ``load``/``save`` over ``--out`` export
+  trees.
+* :class:`Study` — the fluent sweep builder and recommended entry
+  point: ``Study("meshgen").grid(nodes=[16, 25],
+  algorithm=["none", "ezflow"]).seeds(3).run(jobs=2)`` → ``ResultSet``.
+* :func:`compare` / :func:`render_compare` — cross-run algorithm-delta
+  tables on aligned layouts (the ``compare`` CLI subcommand renders
+  exactly these).
+
+The CLI (``python -m repro.experiments``) and the benchmark suite are
+built on this layer; ad-hoc ``grid_requests`` plumbing is deprecated in
+its favour.
+"""
+
+from repro.results.compare import ComparisonError, compare, default_metrics, render_compare
+from repro.results.metrics import (
+    DEFAULT_ALIGN_KEYS,
+    DEFAULT_BASELINE,
+    DEFAULT_COMPARE_METRICS,
+    MESHGEN_SUMMARY_COLUMNS,
+)
+from repro.results.study import Study, execute_requests
+from repro.results.types import ResultSet, RunResult, canonical_result_dict
+
+__all__ = [
+    "ComparisonError",
+    "DEFAULT_ALIGN_KEYS",
+    "DEFAULT_BASELINE",
+    "DEFAULT_COMPARE_METRICS",
+    "MESHGEN_SUMMARY_COLUMNS",
+    "ResultSet",
+    "RunResult",
+    "Study",
+    "canonical_result_dict",
+    "compare",
+    "default_metrics",
+    "execute_requests",
+    "render_compare",
+]

@@ -1,0 +1,170 @@
+"""Cross-run comparison tables: algorithm deltas on aligned layouts.
+
+The paper's headline claims are comparative — EZ-flow vs. no control
+vs. DiffQ vs. static penalty *on the same topology*. :func:`compare`
+turns a :class:`~repro.results.ResultSet` into exactly that table: runs
+are grouped so that every group shares one generated layout, a baseline
+run is picked per group (``algorithm=none`` by convention), and each
+metric row reports the baseline value plus every other variant's value
+and its percentage delta.
+
+The table is a pure function of the result set, so it is byte-identical
+whether the runs came from a live parallel sweep or from loading the
+sweep's ``--out`` export (the CI ``compare-smoke`` job pins this).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.experiments.common import Table
+from repro.results.metrics import DEFAULT_BASELINE, DEFAULT_COMPARE_METRICS
+from repro.results.types import ResultSet, RunResult, _param_matches
+
+
+class ComparisonError(ValueError):
+    """The result set cannot be arranged into a comparison table."""
+
+
+def _variant_of(run: RunResult, vary: Sequence[str]) -> Tuple[str, ...]:
+    return tuple(str(run.parameters.get(name)) for name in vary)
+
+
+def _is_number(value: object) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def default_metrics(results: ResultSet) -> List[str]:
+    """Metric names to compare when the caller picks none.
+
+    The canonical goodput/fairness/delivery triple when the set exposes
+    it (any meshgen sweep does); otherwise every numeric scalar the
+    runs share, sorted.
+    """
+    available = set()
+    for run in results:
+        available.update(run.numeric_scalars())
+    preferred = [name for name in DEFAULT_COMPARE_METRICS if name in available]
+    if preferred:
+        return preferred
+    shared = set.intersection(
+        *(set(run.numeric_scalars()) for run in results)
+    ) if len(results) else set()
+    return sorted(shared)
+
+
+def compare(
+    results: ResultSet,
+    baseline: Optional[Mapping[str, object]] = None,
+    metrics: Optional[Sequence[str]] = None,
+    align: Optional[Sequence[str]] = None,
+) -> Table:
+    """Build the cross-run delta table for a result set.
+
+    ``baseline`` filters the reference run of each aligned group
+    (default ``{"algorithm": "none"}``); its keys are the *varied*
+    dimension — every other observed value of those keys becomes a
+    variant column pair (value, Δ% vs. baseline). ``align`` names the
+    parameters that identify a group; by default every parameter that
+    varies across the set and is not a baseline key aligns, which
+    subsumes the layout identity (topology, nodes, seed) and keeps
+    extra swept axes (workload, rate, ...) from colliding. A group
+    holding two runs of the same variant — baseline included — is
+    ambiguous and raises :class:`ComparisonError`; add the
+    distinguishing axis to ``align``. Groups without a baseline run
+    are skipped.
+    """
+    if not len(results):
+        raise ComparisonError("empty result set")
+    baseline = dict(DEFAULT_BASELINE if baseline is None else baseline)
+    if not baseline:
+        raise ComparisonError("baseline filter must name at least one parameter")
+    vary = sorted(baseline)
+    if align is None:
+        align = results.varying_keys(exclude=vary)
+    align = list(align)
+    metrics = list(metrics) if metrics is not None else default_metrics(results)
+    if not metrics:
+        raise ComparisonError("no comparable numeric scalar metrics in the set")
+
+    base_variant = tuple(str(baseline[name]) for name in vary)
+    variants = sorted(
+        {_variant_of(run, vary) for run in results} - {base_variant}
+    )
+    if not variants:
+        raise ComparisonError(
+            f"every run matches the baseline {baseline!r}; nothing to compare"
+        )
+    baseline_label = ",".join(f"{name}={baseline[name]}" for name in vary)
+    columns = list(align) + ["metric", baseline_label]
+    for variant in variants:
+        label = "+".join(variant)
+        columns += [label, f"{label} Δ%"]
+    table = Table(f"Deltas vs {baseline_label}", columns)
+
+    # No align keys (nothing else varies) -> one group holding every
+    # run; align_on() without args would instead fall back to the
+    # layout-identity defaults, which is not what an explicit empty
+    # alignment means.
+    groups = results.align_on(*align) if align else [((), results)]
+    matched_baseline = False
+    for key, group in groups:
+        base_runs = [
+            run
+            for run in group
+            if all(
+                _param_matches(run.parameters.get(name), value)
+                for name, value in baseline.items()
+            )
+        ]
+        if not base_runs:
+            continue
+        if len(base_runs) > 1:
+            raise ComparisonError(
+                f"aligned group {dict(zip(align, key))} holds "
+                f"{len(base_runs)} baseline runs; add the distinguishing "
+                f"parameter to align"
+            )
+        matched_baseline = True
+        base = base_runs[0]
+        by_variant: Dict[Tuple[str, ...], RunResult] = {}
+        for run in group:
+            variant = _variant_of(run, vary)
+            if variant == base_variant:
+                continue
+            if variant in by_variant:
+                raise ComparisonError(
+                    f"aligned group {dict(zip(align, key))} holds several "
+                    f"runs of variant {'+'.join(variant)}; add the "
+                    f"distinguishing parameter to align"
+                )
+            by_variant[variant] = run
+        for metric in metrics:
+            base_value = base.scalar(metric)
+            row: List[object] = list(key) + [
+                metric,
+                base_value if base_value is not None else "",
+            ]
+            for variant in variants:
+                run = by_variant.get(variant)
+                value = None if run is None else run.scalar(metric)
+                row.append(value if value is not None else "")
+                if (
+                    _is_number(value)
+                    and _is_number(base_value)
+                    and base_value != 0
+                ):
+                    row.append((value - base_value) / base_value * 100.0)
+                else:
+                    row.append("")
+            table.add(*row)
+    if not matched_baseline:
+        raise ComparisonError(f"no run matches the baseline {baseline!r}")
+    return table
+
+
+def render_compare(table: Table) -> str:
+    """The delta table as GitHub-flavoured markdown (deterministic bytes)."""
+    from repro.experiments.export import table_to_markdown
+
+    return table_to_markdown(table)

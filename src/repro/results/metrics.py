@@ -1,0 +1,45 @@
+"""Canonical metric and alignment names shared across the results layer.
+
+These constants are the single place where the repo spells the headline
+scalar metrics of the generated-topology (meshgen) family and the keys
+that identify a generated layout. The meshgen harness builds its
+``Summary`` table from :data:`MESHGEN_SUMMARY_COLUMNS`, the comparison
+layer defaults to :data:`DEFAULT_COMPARE_METRICS`, and
+``ResultSet.align_on`` defaults to :data:`DEFAULT_ALIGN_KEYS` — so a
+rename can never silently desynchronise the harness, the compare tables
+and the docs.
+
+This module must stay import-light (stdlib only): it is imported both by
+harness modules and by the public API layer.
+"""
+
+from __future__ import annotations
+
+#: Columns of the meshgen ``Summary`` table, in export order. The table
+#: has exactly one row, so each column surfaces as a scalar metric on
+#: :class:`repro.results.RunResult`.
+MESHGEN_SUMMARY_COLUMNS = (
+    "jain_fairness",
+    "aggregate_kbps",
+    "delivered_ratio",
+    "relay_backlog",
+)
+
+#: The algorithm-delta metrics the paper's comparative claims are about:
+#: aggregate goodput, Jain fairness, end-to-end delivery. Used as the
+#: default metric list by :func:`repro.results.compare` when the result
+#: set exposes them.
+DEFAULT_COMPARE_METRICS = (
+    "aggregate_kbps",
+    "jain_fairness",
+    "delivered_ratio",
+)
+
+#: Parameters that identify one *generated layout*: two runs agreeing on
+#: all three executed against the same topology, node placement and
+#: sampled flows, so their metrics are directly comparable.
+DEFAULT_ALIGN_KEYS = ("topology", "nodes", "seed")
+
+#: The conventional baseline for algorithm-delta tables: standard 802.11
+#: with no congestion control.
+DEFAULT_BASELINE = {"algorithm": "none"}

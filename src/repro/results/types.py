@@ -1,0 +1,445 @@
+"""Typed results: :class:`RunResult` and the :class:`ResultSet` collection.
+
+``RunResult`` wraps one :class:`~repro.experiments.common.ExperimentResult`
+with its identity (run id, spec id, request kwargs) and derived scalar
+metrics; it is constructible both in memory (from a sweep
+:class:`~repro.experiments.runner.RunRecord`) and by loading an exported
+run directory, and saving either form writes byte-identical artefacts.
+
+``ResultSet`` is an immutable ordered collection of runs with
+pandas-free relational verbs: ``filter``, ``split_by``, ``align_on``
+(group runs sharing a generated layout) and ``scalars_frame``. It loads
+a whole ``--out`` export directory (manifest-ordered) and saves through
+the same deterministic export path the CLI uses.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.experiments.common import ExperimentResult, Table
+from repro.results.metrics import DEFAULT_ALIGN_KEYS
+
+RESULT_JSON = "result.json"
+MANIFEST_JSON = "manifest.json"
+
+
+def canonical_result_dict(result: ExperimentResult) -> Dict[str, object]:
+    """The JSON-normalised plain-data form of a result.
+
+    Round-tripping through ``json`` collapses the representation
+    differences that do not survive export (tuples become lists), so an
+    in-memory result and its loaded export compare equal exactly when
+    their ``result.json`` bytes would be identical.
+    """
+    return json.loads(json.dumps(result.to_dict(), sort_keys=True, default=list))
+
+
+def _param_matches(actual: object, expected: object) -> bool:
+    """Tolerant parameter equality: typed values or their CLI spellings."""
+    return actual == expected or str(actual) == str(expected)
+
+
+class RunResult:
+    """One run's typed result: identity, parameters, scalars, series, tables.
+
+    Thin and immutable by convention: the wrapped
+    :class:`~repro.experiments.common.ExperimentResult` is shared, not
+    copied. Two construction paths are equivalent (and round-trip
+    tested byte-for-byte): :meth:`from_record` after a live run, and
+    :meth:`load` on a directory a previous run exported.
+    """
+
+    __slots__ = ("run_id", "spec_id", "result", "kwargs", "wall_s", "_scalars")
+
+    def __init__(
+        self,
+        result: ExperimentResult,
+        run_id: Optional[str] = None,
+        spec_id: Optional[str] = None,
+        kwargs: Optional[Mapping[str, object]] = None,
+        wall_s: Optional[float] = None,
+    ):
+        self.result = result
+        self.run_id = run_id or result.experiment
+        self.spec_id = spec_id or result.experiment
+        self.kwargs = dict(kwargs or {})
+        self.wall_s = wall_s
+        self._scalars: Optional[Dict[str, object]] = None
+
+    # -- construction -------------------------------------------------
+
+    @classmethod
+    def from_result(
+        cls, result: ExperimentResult, run_id: Optional[str] = None
+    ) -> "RunResult":
+        """Wrap an in-memory experiment result."""
+        return cls(result, run_id=run_id)
+
+    @classmethod
+    def from_record(cls, record) -> "RunResult":
+        """Wrap one sweep :class:`~repro.experiments.runner.RunRecord`."""
+        return cls(
+            record.result,
+            run_id=record.request.run_id,
+            spec_id=record.request.spec_id,
+            kwargs=record.request.kwargs_dict,
+            wall_s=record.wall_s,
+        )
+
+    @classmethod
+    def load(cls, path: str, **identity) -> "RunResult":
+        """Load one exported run directory (``<path>/result.json``).
+
+        The directory name is the run id (the export layer names run
+        directories that way); ``identity`` keyword overrides
+        (``run_id``, ``spec_id``, ``kwargs``) let a manifest-aware
+        caller supply richer identity.
+        """
+        with open(os.path.join(path, RESULT_JSON)) as handle:
+            data = json.load(handle)
+        result = ExperimentResult.from_dict(data)
+        identity.setdefault("run_id", os.path.basename(os.path.normpath(path)))
+        return cls(result, **identity)
+
+    # -- delegation ---------------------------------------------------
+
+    @property
+    def experiment(self) -> str:
+        return self.result.experiment
+
+    @property
+    def description(self) -> str:
+        return self.result.description
+
+    @property
+    def parameters(self) -> Dict[str, object]:
+        return self.result.parameters
+
+    @property
+    def series(self) -> Dict[str, List[Tuple[float, float]]]:
+        return self.result.series
+
+    @property
+    def tables(self) -> List[Table]:
+        return self.result.tables
+
+    @property
+    def notes(self) -> List[str]:
+        return self.result.notes
+
+    def table(self, title_fragment: str) -> Table:
+        """First table whose title contains the fragment (KeyError if none)."""
+        return self.result.find_table(title_fragment)
+
+    def param(self, name: str, default: object = None) -> object:
+        """One parameter value (``default`` when the run does not set it)."""
+        return self.result.parameters.get(name, default)
+
+    # -- scalars ------------------------------------------------------
+
+    @property
+    def scalars(self) -> Dict[str, object]:
+        """Named scalar metrics (every single-row table, flattened)."""
+        if self._scalars is None:
+            self._scalars = self.result.scalars()
+        return self._scalars
+
+    def scalar(self, name: str, default: object = None) -> object:
+        """One scalar metric by name (``default`` when absent)."""
+        return self.scalars.get(name, default)
+
+    def numeric_scalars(self) -> Dict[str, float]:
+        """The scalar metrics that are numbers (bools excluded)."""
+        return {
+            name: value
+            for name, value in self.scalars.items()
+            if isinstance(value, (int, float)) and not isinstance(value, bool)
+        }
+
+    def key(self, *names: str) -> Tuple[object, ...]:
+        """Parameter values as an alignment key tuple."""
+        return tuple(self.parameters.get(name) for name in names)
+
+    # -- persistence & identity --------------------------------------
+
+    def save(self, out_dir: str, dir_name: Optional[str] = None) -> str:
+        """Export this run under ``out_dir`` (default subdir: the run id).
+
+        Delegates to the deterministic export layer, so the written
+        bytes are identical whether the run lives in memory or was
+        itself loaded from an export.
+        """
+        from repro.experiments.export import export_result
+
+        return export_result(self.result, out_dir, dir_name or self.run_id)
+
+    def canonical(self) -> Dict[str, object]:
+        """JSON-normalised plain-data form (see :func:`canonical_result_dict`)."""
+        return canonical_result_dict(self.result)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RunResult):
+            return NotImplemented
+        return self.run_id == other.run_id and self.canonical() == other.canonical()
+
+    __hash__ = None  # mutable payload; identity-hash would break == semantics
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RunResult({self.run_id!r}, {len(self.tables)} table(s), "
+            f"{len(self.series)} series)"
+        )
+
+
+GroupKey = Union[object, Tuple[object, ...]]
+
+
+class ResultSet:
+    """An immutable ordered collection of :class:`RunResult`\\ s.
+
+    Every verb returns a new ``ResultSet`` (or a mapping of them), so
+    analysis code composes without mutating anything:
+    ``study.run().filter(topology="mesh").split_by("algorithm")``.
+    Run ids are unique within a set — the same invariant the sweep
+    runner enforces — which keeps exports collision-free.
+    """
+
+    def __init__(self, runs: Iterable[RunResult]):
+        self.runs: Tuple[RunResult, ...] = tuple(runs)
+        run_ids = [run.run_id for run in self.runs]
+        if len(set(run_ids)) != len(run_ids):
+            raise ValueError("duplicate run ids in result set")
+        self._by_id = {run.run_id: run for run in self.runs}
+
+    # -- construction -------------------------------------------------
+
+    @classmethod
+    def from_records(cls, records: Iterable) -> "ResultSet":
+        """Wrap sweep :class:`~repro.experiments.runner.RunRecord`\\ s."""
+        return cls(RunResult.from_record(record) for record in records)
+
+    @classmethod
+    def load(cls, out_dir: str) -> "ResultSet":
+        """Load every run of an exported ``--out`` directory.
+
+        With a ``manifest.json`` present, runs load in manifest order
+        with full identity (spec id, request kwargs). Without one (e.g.
+        a directory of hand-collected run dirs), every subdirectory
+        containing a ``result.json`` loads in sorted name order.
+        """
+        manifest_path = os.path.join(out_dir, MANIFEST_JSON)
+        runs: List[RunResult] = []
+        if os.path.isfile(manifest_path):
+            with open(manifest_path) as handle:
+                manifest = json.load(handle)
+            for entry in manifest.get("runs", []):
+                runs.append(
+                    RunResult.load(
+                        os.path.join(out_dir, entry["run_id"]),
+                        run_id=entry["run_id"],
+                        spec_id=entry.get("experiment"),
+                        kwargs=entry.get("kwargs"),
+                    )
+                )
+            return cls(runs)
+        for name in sorted(os.listdir(out_dir)):
+            run_dir = os.path.join(out_dir, name)
+            if os.path.isfile(os.path.join(run_dir, RESULT_JSON)):
+                runs.append(RunResult.load(run_dir))
+        if not runs:
+            raise FileNotFoundError(
+                f"{out_dir}: no manifest.json and no run directories "
+                f"containing {RESULT_JSON}"
+            )
+        return cls(runs)
+
+    # -- sequence protocol --------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.runs)
+
+    def __iter__(self) -> Iterator[RunResult]:
+        return iter(self.runs)
+
+    def __getitem__(self, key) -> Union[RunResult, "ResultSet"]:
+        if isinstance(key, slice):
+            return ResultSet(self.runs[key])
+        if isinstance(key, str):
+            return self._by_id[key]
+        return self.runs[key]
+
+    def get(self, run_id: str) -> Optional[RunResult]:
+        """The run with this id, or None."""
+        return self._by_id.get(run_id)
+
+    @property
+    def run_ids(self) -> Tuple[str, ...]:
+        return tuple(run.run_id for run in self.runs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ResultSet({len(self.runs)} run(s))"
+
+    # -- relational verbs ---------------------------------------------
+
+    def filter(
+        self,
+        predicate: Optional[Callable[[RunResult], bool]] = None,
+        **params: object,
+    ) -> "ResultSet":
+        """Runs matching a predicate and/or parameter equalities.
+
+        Parameter matching is CLI-tolerant: ``nodes=16`` and
+        ``nodes="16"`` both match a run with ``nodes: 16``.
+        """
+        return ResultSet(
+            run
+            for run in self.runs
+            if (predicate is None or predicate(run))
+            and all(
+                _param_matches(run.parameters.get(name), value)
+                for name, value in params.items()
+            )
+        )
+
+    def param_keys(self) -> List[str]:
+        """Union of parameter names: first run's order, extras sorted."""
+        keys: List[str] = []
+        seen = set()
+        for run in self.runs:
+            extra = [k for k in run.parameters if k not in seen]
+            if not keys:
+                keys.extend(extra)  # first run: declaration order
+            else:
+                keys.extend(sorted(extra))
+            seen.update(extra)
+        return keys
+
+    def varying_keys(self, exclude: Sequence[str] = ()) -> List[str]:
+        """Parameter names whose values differ across the set."""
+        varying: List[str] = []
+        for name in self.param_keys():
+            if name in exclude:
+                continue
+            values = {str(run.parameters.get(name)) for run in self.runs}
+            if len(values) > 1:
+                varying.append(name)
+        return varying
+
+    def _group(self, keys: Sequence[str]) -> List[Tuple[Tuple[object, ...], "ResultSet"]]:
+        groups: Dict[Tuple[object, ...], List[RunResult]] = {}
+        for run in self.runs:
+            groups.setdefault(run.key(*keys), []).append(run)
+        ordered = sorted(groups, key=lambda key: tuple(str(v) for v in key))
+        return [(key, ResultSet(groups[key])) for key in ordered]
+
+    def split_by(self, *keys: str) -> Dict[GroupKey, "ResultSet"]:
+        """Partition by parameter value(s): key -> sub-set.
+
+        One key yields scalar mapping keys (``{"mesh": ..., ...}``);
+        several yield tuples. Groups are ordered by stringified key, so
+        iteration order is deterministic whatever the run order.
+        """
+        if not keys:
+            raise ValueError("split_by needs at least one parameter name")
+        return {
+            key[0] if len(keys) == 1 else key: group
+            for key, group in self._group(keys)
+        }
+
+    def align_on(
+        self, *keys: str
+    ) -> List[Tuple[Tuple[object, ...], "ResultSet"]]:
+        """Group runs that share a generated layout.
+
+        Without arguments, aligns on the layout identity keys
+        (``topology``, ``nodes``, ``seed``) that actually occur in the
+        set — two meshgen runs in the same group executed against the
+        identical generated topology and sampled flows, so their
+        metrics are directly comparable. Returns ``(key, group)`` pairs
+        sorted by key; keys are always tuples here (unlike
+        :meth:`split_by`) because alignment keys are usually composite.
+        """
+        if not keys:
+            keys = tuple(
+                name
+                for name in DEFAULT_ALIGN_KEYS
+                if any(name in run.parameters for run in self.runs)
+            )
+        return self._group(keys)
+
+    def scalars_frame(self, *columns: str) -> Table:
+        """A flat parameters+scalars table, one row per run.
+
+        Without ``columns``, includes every parameter and every scalar
+        metric occurring in the set (parameters first). Cells for
+        values a run does not define are empty strings. The returned
+        :class:`~repro.experiments.common.Table` renders to monospace
+        text or markdown like any result table — the pandas-free
+        answer to ``DataFrame``.
+        """
+        if columns:
+            names = list(columns)
+        else:
+            names = list(self.param_keys())
+            seen = set(names)
+            scalar_names: List[str] = []
+            for run in self.runs:
+                scalar_names.extend(
+                    sorted(k for k in run.scalars if k not in seen)
+                )
+                seen.update(run.scalars)
+            names.extend(scalar_names)
+        frame = Table("scalars", ["run_id"] + names)
+        for run in self.runs:
+            row: List[object] = [run.run_id]
+            for name in names:
+                if name in run.parameters:
+                    row.append(run.parameters[name])
+                else:
+                    value = run.scalar(name, "")
+                    row.append(value)
+            frame.add(*row)
+        return frame
+
+    # -- persistence --------------------------------------------------
+
+    def save(self, out_dir: str) -> List[str]:
+        """Export every run plus manifest and index, deterministically.
+
+        Delegates to the same export path the CLI's ``--out`` uses, so
+        per-run artefacts are byte-identical to a live ``sweep``
+        export. Manifest timing reflects what this set knows: live
+        runs carry their wall seconds, loaded runs re-save with zeroed
+        timing (artefact bytes are unaffected — timing lives only in
+        the manifest).
+        """
+        from repro.experiments.export import export_records
+        from repro.experiments.runner import RunRecord, RunRequest
+
+        records = [
+            RunRecord(
+                RunRequest(
+                    spec_id=run.spec_id,
+                    kwargs=tuple(sorted(run.kwargs.items())),
+                    run_id=run.run_id,
+                ),
+                run.result,
+                run.wall_s or 0.0,
+            )
+            for run in self.runs
+        ]
+        return export_records(records, out_dir)

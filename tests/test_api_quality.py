@@ -27,6 +27,7 @@ PACKAGES = [
     "repro.metrics",
     "repro.topology",
     "repro.experiments",
+    "repro.results",
 ]
 
 

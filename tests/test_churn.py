@@ -10,7 +10,7 @@ from hypothesis import given, settings, strategies as st
 import pytest
 
 from repro.experiments.export import export_records
-from repro.experiments.runner import SweepRunner, grid_requests
+from repro.experiments.runner import SweepRunner, _grid_requests
 from repro.phy.channel import Channel, PhyListener
 from repro.phy.connectivity import GeometricConnectivity
 from repro.phy.propagation import RangeModel
@@ -430,7 +430,7 @@ class TestChurnSweepDeterminism:
     def test_parallel_and_serial_churn_exports_byte_identical(self, tmp_path):
         """The churn-smoke CI guarantee: dynamic-topology sweeps export
         the same bytes whatever the worker count."""
-        requests = grid_requests("meshgen", self.GRID)
+        requests = _grid_requests("meshgen", self.GRID)
         assert len(requests) == 2
         serial_dir, parallel_dir = tmp_path / "serial", tmp_path / "parallel"
         os.makedirs(serial_dir)

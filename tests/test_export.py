@@ -41,7 +41,12 @@ class TestExport:
         assert "seed=1" in text
 
     def test_cli_runs_fast_experiment(self, tmp_path, capsys):
-        code = main(["stability", "--out", str(tmp_path)])
+        # The standalone export CLI is a deprecated shim (superseded by
+        # `run <id> --out`): it must warn, but keep working unchanged.
+        import pytest
+
+        with pytest.warns(DeprecationWarning):
+            code = main(["stability", "--out", str(tmp_path)])
         assert code == 0
         assert os.path.isdir(os.path.join(str(tmp_path), "stability"))
         out = capsys.readouterr().out

@@ -8,7 +8,7 @@ from collections import deque
 import pytest
 
 from repro.experiments.export import export_records
-from repro.experiments.runner import SweepRunner, grid_requests
+from repro.experiments.runner import SweepRunner, _grid_requests
 from repro.experiments.specs import get_spec
 from repro.phy.connectivity import GeometricConnectivity
 from repro.phy.propagation import RangeModel, distance
@@ -230,7 +230,7 @@ class TestMeshgenDeterminism:
     def test_parallel_and_serial_exports_byte_identical(self, tmp_path):
         """The acceptance guarantee: same (seed, params) exports the
         same bytes whatever the worker count."""
-        requests = grid_requests("meshgen", self.GRID)
+        requests = _grid_requests("meshgen", self.GRID)
         assert len(requests) == 4
         serial_dir, parallel_dir = tmp_path / "serial", tmp_path / "parallel"
         os.makedirs(serial_dir)

@@ -1,0 +1,598 @@
+"""Tests for the first-class results API (repro.results).
+
+Covers the typed RunResult/ResultSet layer (including the export
+round-trip guarantee), the Study builder, the cross-run compare tables,
+the CLI surfaces built on them (``compare``, ``list --json``), the
+deprecation shims, and the SweepRunner shutdown hardening.
+"""
+
+import filecmp
+import json
+import os
+import subprocess
+import sys
+import textwrap
+import warnings
+
+import pytest
+
+import repro
+from repro.experiments.common import ExperimentResult
+from repro.experiments.runner import (
+    SweepRunner,
+    _grid_requests,
+    execute_request,
+    request_for,
+)
+from repro.experiments.specs import UnknownParameterError, catalogue, get_spec
+from repro.results import (
+    ComparisonError,
+    DEFAULT_COMPARE_METRICS,
+    MESHGEN_SUMMARY_COLUMNS,
+    ResultSet,
+    RunResult,
+    Study,
+    compare,
+    render_compare,
+)
+
+FAST_MESHGEN = {"nodes": 9, "flows": 2, "duration_s": 3.0, "warmup_s": 1.0}
+
+
+def synthetic_run(run_id, **params):
+    """A hand-built meshgen-shaped result (no simulation)."""
+    defaults = {"topology": "mesh", "nodes": 9, "seed": 11, "algorithm": "none"}
+    defaults.update(params)
+    result = ExperimentResult("meshgen", "synthetic", parameters=defaults)
+    summary = result.table("Summary", list(MESHGEN_SUMMARY_COLUMNS))
+    base = 100.0 * (1.0 if defaults["algorithm"] == "none" else 1.5)
+    summary.add(0.9, base, 0.8, 4)
+    return RunResult(result, run_id=run_id, spec_id="meshgen", kwargs=defaults)
+
+
+def synthetic_set(algorithms=("none", "ezflow"), seeds=(11,), **params):
+    return ResultSet(
+        synthetic_run(f"r~{algo}~{seed}", algorithm=algo, seed=seed, **params)
+        for seed in seeds
+        for algo in algorithms
+    )
+
+
+class TestRunResult:
+    def test_from_record_carries_identity(self):
+        record = execute_request(request_for("stability", {"slots": 1500, "trials": 15}))
+        run = RunResult.from_record(record)
+        assert run.run_id == record.request.run_id
+        assert run.spec_id == "stability"
+        assert run.kwargs == {"slots": 1500, "trials": 15}
+        assert run.wall_s == record.wall_s
+        assert run.param("slots") == 1500
+
+    def test_scalars_flatten_single_row_tables(self):
+        result = ExperimentResult("demo", "d")
+        result.table("Shape", ["nodes", "edges"]).add(9, 20)
+        multi = result.table("Rows", ["x", "y"])
+        multi.add(1, 2)
+        multi.add(3, 4)
+        run = RunResult.from_result(result)
+        assert run.scalars == {"nodes": 9, "edges": 20}
+        assert run.scalar("edges") == 20
+        assert run.scalar("missing", -1) == -1
+
+    def test_scalar_name_collisions_get_table_prefix(self):
+        result = ExperimentResult("demo", "d")
+        result.table("First table", ["shared", "only_a"]).add(1, 2)
+        result.table("Second", ["shared"]).add(3)
+        scalars = RunResult.from_result(result).scalars
+        assert scalars == {"first_table.shared": 1, "only_a": 2, "second.shared": 3}
+
+    def test_numeric_scalars_exclude_strings_and_bools(self):
+        result = ExperimentResult("demo", "d")
+        result.table("T", ["kind", "ok", "value"]).add("mesh", True, 2.5)
+        assert RunResult.from_result(result).numeric_scalars() == {"value": 2.5}
+
+    def test_equality_in_memory_vs_loaded(self, tmp_path):
+        record = execute_request(request_for("stability", {"slots": 1500, "trials": 15}))
+        mem = RunResult.from_record(record)
+        target = mem.save(str(tmp_path))
+        loaded = RunResult.load(target)
+        assert loaded == mem
+        assert loaded.run_id == mem.run_id
+        other = RunResult.load(target)
+        other.result.notes.append("drift")
+        assert other != mem
+
+
+#: Every canned experiment plus a meshgen run, at parameters fast
+#: enough for the test lane (the shapes still exercise each harness's
+#: tables/series). fig4+table2 share the memoised testbed run.
+ROUNDTRIP_RUNS = [
+    ("fig1", {"duration_s": 12.0, "warmup_s": 3.0}, False),
+    ("table1", {"duration_s": 12.0, "warmup_s": 2.0}, False),
+    ("fig4", {"duration_s": 15.0, "warmup_s": 5.0}, True),
+    ("table2", {"duration_s": 15.0, "warmup_s": 5.0}, True),
+    ("scenario1", {"time_scale": 0.02}, True),
+    ("scenario2", {"time_scale": 0.01}, True),
+    ("stability", {"slots": 1500, "trials": 15}, False),
+    ("loadsweep", {"duration_s": 20.0, "warmup_s": 5.0, "loads_kbps": (100.0,)}, True),
+    ("bidirectional", {"duration_s": 5.0, "warmup_s": 1.0, "windows": (4,)}, False),
+    ("meshgen", dict(FAST_MESHGEN), False),
+]
+
+
+class TestExportRoundTrip:
+    @pytest.mark.parametrize(
+        "spec_id,kwargs",
+        [
+            pytest.param(
+                spec_id,
+                kwargs,
+                id=spec_id,
+                marks=[pytest.mark.slow] if slow else [],
+            )
+            for spec_id, kwargs, slow in ROUNDTRIP_RUNS
+        ],
+    )
+    def test_load_equals_memory_and_resave_is_byte_identical(
+        self, tmp_path, spec_id, kwargs
+    ):
+        """RunResult.load(dir) == in-memory result, byte-for-byte re-export."""
+        record = execute_request(request_for(spec_id, kwargs))
+        mem = RunResult.from_record(record)
+
+        first = mem.save(os.path.join(str(tmp_path), "a"))
+        loaded = RunResult.load(first)
+        assert loaded == mem, f"{spec_id}: loaded result differs from in-memory"
+        # parameters, scalars, series and tables all survive the trip
+        # (sequence-valued parameters come back as tuples)
+        assert loaded.parameters == mem.parameters
+        assert loaded.scalars == json.loads(json.dumps(mem.scalars, default=list))
+        assert set(loaded.series) == set(mem.series)
+        assert [t.title for t in loaded.tables] == [t.title for t in mem.tables]
+
+        second = loaded.save(os.path.join(str(tmp_path), "b"))
+        names = sorted(os.listdir(first))
+        assert names == sorted(os.listdir(second))
+        mismatched = [
+            name
+            for name in names
+            if not filecmp.cmp(
+                os.path.join(first, name), os.path.join(second, name), shallow=False
+            )
+        ]
+        assert not mismatched, f"{spec_id}: byte drift after reload: {mismatched}"
+
+
+class TestResultSet:
+    def test_rejects_duplicate_run_ids(self):
+        run = synthetic_run("same")
+        with pytest.raises(ValueError):
+            ResultSet([run, synthetic_run("same")])
+
+    def test_sequence_protocol(self):
+        rs = synthetic_set()
+        assert len(rs) == 2
+        assert rs[0].run_id == "r~none~11"
+        assert rs["r~ezflow~11"].param("algorithm") == "ezflow"
+        assert isinstance(rs[:1], ResultSet) and len(rs[:1]) == 1
+        assert rs.get("missing") is None
+
+    def test_filter_typed_and_cli_spellings(self):
+        rs = synthetic_set(seeds=(11, 12))
+        assert len(rs.filter(algorithm="ezflow")) == 2
+        assert len(rs.filter(seed=11)) == 2
+        assert len(rs.filter(seed="11")) == 2  # CLI string matches typed value
+        assert len(rs.filter(lambda r: r.scalar("relay_backlog") == 4)) == 4
+        assert len(rs.filter(algorithm="nope")) == 0
+
+    def test_split_by_single_key_scalar_keys(self):
+        groups = synthetic_set(("none", "ezflow", "diffq")).split_by("algorithm")
+        assert sorted(groups) == ["diffq", "ezflow", "none"]
+        assert all(len(g) == 1 for g in groups.values())
+
+    def test_split_by_multiple_keys_tuple_keys(self):
+        groups = synthetic_set(seeds=(11, 12)).split_by("algorithm", "seed")
+        assert ("none", 11) in groups
+        assert len(groups) == 4
+
+    def test_align_on_defaults_to_layout_identity(self):
+        rs = synthetic_set(seeds=(11, 12))
+        groups = rs.align_on()
+        assert [key for key, _ in groups] == [("mesh", 9, 11), ("mesh", 9, 12)]
+        assert all(len(group) == 2 for _, group in groups)
+
+    def test_varying_keys(self):
+        rs = synthetic_set(seeds=(11, 12))
+        assert rs.varying_keys(exclude=("algorithm",)) == ["seed"]
+
+    def test_scalars_frame_covers_params_and_scalars(self):
+        frame = synthetic_set().scalars_frame()
+        assert frame.columns[0] == "run_id"
+        for name in ("algorithm", "seed") + MESHGEN_SUMMARY_COLUMNS:
+            assert name in frame.columns
+        assert len(frame.rows) == 2
+        aggregate = frame.column("aggregate_kbps")
+        assert aggregate == [100.0, 150.0]
+
+    def test_scalars_frame_explicit_columns(self):
+        frame = synthetic_set().scalars_frame("algorithm", "aggregate_kbps")
+        assert frame.columns == ["run_id", "algorithm", "aggregate_kbps"]
+
+    def test_load_without_manifest_scans_run_dirs(self, tmp_path):
+        for run in synthetic_set():
+            run.save(str(tmp_path))
+        rs = ResultSet.load(str(tmp_path))
+        assert rs.run_ids == ("r~ezflow~11", "r~none~11")  # sorted scan order
+
+    def test_load_empty_dir_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            ResultSet.load(str(tmp_path))
+
+
+class TestResultSetSweepIntegration:
+    def test_live_sweep_save_load_round_trip(self, tmp_path):
+        requests = _grid_requests("stability", {"slots": [1200], "trials": [8, 9]})
+        records = SweepRunner(jobs=1).run(requests)
+        live = ResultSet.from_records(records)
+        out = os.path.join(str(tmp_path), "out")
+        live.save(out)
+
+        loaded = ResultSet.load(out)
+        assert loaded.run_ids == live.run_ids
+        assert all(a == b for a, b in zip(loaded, live))
+        # identity travels through the manifest
+        assert loaded[0].spec_id == "stability"
+        assert loaded[0].kwargs["slots"] == 1200
+
+        # re-saving the loaded set reproduces the per-run bytes
+        resaved = os.path.join(str(tmp_path), "resaved")
+        loaded.save(resaved)
+        for run_id in live.run_ids:
+            for name in sorted(os.listdir(os.path.join(out, run_id))):
+                assert filecmp.cmp(
+                    os.path.join(out, run_id, name),
+                    os.path.join(resaved, run_id, name),
+                    shallow=False,
+                ), (run_id, name)
+
+
+class TestStudy:
+    def test_requests_match_legacy_grid_requests(self):
+        study = Study("stability").grid(trials=[5, 6]).set(slots=1500)
+        legacy = _grid_requests("stability", {"trials": [5, 6], "slots": [1500]})
+        assert study.requests() == legacy
+
+    def test_default_axes_expand_like_the_sweep_cli(self):
+        requests = Study("meshgen").grid(nodes=[9]).requests()
+        topologies = [r.kwargs_dict["topology"] for r in requests]
+        # expand_grid keeps each axis's declared value order
+        assert topologies == ["mesh", "grid", "tree"]
+
+    def test_pinning_suppresses_the_default_axis(self):
+        requests = Study("meshgen").grid(nodes=[9], topology="mesh").requests()
+        assert [r.kwargs_dict["topology"] for r in requests] == ["mesh"]
+        assert Study("meshgen", topology="mesh").no_default_axes().requests()[0].kwargs_dict[
+            "topology"
+        ] == "mesh"
+
+    def test_seeds_count_derives_distinct_seeds(self):
+        requests = Study("stability").set(slots=100).seeds(3).requests()
+        seeds = [r.kwargs_dict["seed"] for r in requests]
+        assert len(set(seeds)) == 3
+        spec = get_spec("stability")
+        assert seeds == [spec.derive_seed(7, i) for i in range(3)]  # base = declared default seed
+
+    def test_seeds_shared_across_grid_points_so_variants_align(self):
+        """Regression: replicate k of every grid point must run the
+        same seed, or compare() can never pair baseline and variants."""
+        requests = Study("stability").grid(slots=[100, 200]).seeds(2).requests()
+        by_point = {}
+        for request in requests:
+            kwargs = request.kwargs_dict
+            by_point.setdefault(kwargs["slots"], set()).add(kwargs["seed"])
+        assert by_point[100] == by_point[200]
+        assert len(by_point[100]) == 2
+
+    def test_seeds_sequence_is_an_axis(self):
+        requests = Study("stability").set(slots=100).seeds([1, 2]).requests()
+        assert [r.kwargs_dict["seed"] for r in requests] == [1, 2]
+
+    def test_replicates_without_seed_source_rejected_at_request_time(self):
+        study = Study("stability").set(slots=100).replicates(2)
+        with pytest.raises(ValueError):
+            study.requests()
+
+    def test_unknown_axis_rejected_at_declaration(self):
+        with pytest.raises(UnknownParameterError):
+            Study("stability").grid(duration_s=[1.0])
+
+    def test_sequence_kind_tuple_is_one_value(self):
+        study = Study("stability").set(slots=100).grid(cw=(8, 8, 8, 8))
+        [request] = study.requests()
+        assert request.kwargs_dict["cw"] == (8, 8, 8, 8)
+        axis = Study("stability").set(slots=100).grid(cw=[(8, 8, 8, 8), (16, 16, 16, 16)])
+        assert len(axis.requests()) == 2
+
+    def test_run_returns_result_set(self, tmp_path):
+        out = os.path.join(str(tmp_path), "out")
+        results = (
+            Study("stability")
+            .grid(trials=[5, 6])
+            .set(slots=1500)
+            .run(jobs=2, out=out)
+        )
+        assert isinstance(results, ResultSet)
+        assert len(results) == 2
+        assert os.path.isfile(os.path.join(out, "manifest.json"))
+        assert ResultSet.load(out).run_ids == results.run_ids
+
+
+class TestCompare:
+    def test_delta_table_shape_and_math(self):
+        table = compare(synthetic_set(("none", "ezflow", "diffq")))
+        assert table.columns == [
+            "metric",
+            "algorithm=none",
+            "diffq",
+            "diffq Δ%",
+            "ezflow",
+            "ezflow Δ%",
+        ]
+        assert [row[0] for row in table.rows] == list(DEFAULT_COMPARE_METRICS)
+        aggregate = next(r for r in table.rows if r[0] == "aggregate_kbps")
+        assert aggregate[1] == 100.0  # baseline
+        assert aggregate[2] == 150.0 and aggregate[3] == pytest.approx(50.0)
+
+    def test_aligned_groups_emit_key_columns(self):
+        table = compare(synthetic_set(seeds=(11, 12)))
+        assert table.columns[:3] == ["seed", "metric", "algorithm=none"]
+        assert len(table.rows) == 2 * len(DEFAULT_COMPARE_METRICS)
+
+    def test_missing_baseline_raises(self):
+        with pytest.raises(ComparisonError):
+            compare(synthetic_set(("ezflow", "diffq")))
+
+    def test_all_baseline_raises(self):
+        with pytest.raises(ComparisonError):
+            compare(synthetic_set(("none",)))
+
+    def test_ambiguous_variant_in_group_raises(self):
+        runs = [
+            synthetic_run("a", algorithm="none"),
+            synthetic_run("b", algorithm="ezflow", nodes=9),
+            synthetic_run("c", algorithm="ezflow", nodes=9),
+        ]
+        with pytest.raises(ComparisonError, match="several"):
+            compare(ResultSet(runs), align=())
+
+    def test_ambiguous_baseline_in_group_raises(self):
+        """Two baseline replicates in one group must not be silently
+        collapsed onto whichever sorts first."""
+        runs = [
+            synthetic_run("a", algorithm="none", seed=11),
+            synthetic_run("b", algorithm="none", seed=12),
+            synthetic_run("c", algorithm="ezflow", seed=11),
+        ]
+        with pytest.raises(ComparisonError, match="baseline"):
+            compare(ResultSet(runs), align=())
+
+    @pytest.mark.slow
+    def test_study_seeds_then_compare_produces_deltas(self):
+        """Acceptance workflow: seeds(N) replicates align across the
+        algorithm axis, so the delta table has no blank variant cells."""
+        results = (
+            Study("meshgen", topology="mesh")
+            .grid(algorithm=["none", "ezflow"], nodes=9, flows=2,
+                  duration_s=2.0, warmup_s=0.5)
+            .seeds(2)
+            .run(jobs=2)
+        )
+        table = compare(results)
+        assert len(table.rows) == 2 * len(DEFAULT_COMPARE_METRICS)
+        ezflow_cells = [row[table.columns.index("ezflow")] for row in table.rows]
+        assert all(cell != "" for cell in ezflow_cells)
+
+    def test_custom_metrics_and_zero_baseline_delta_blank(self):
+        runs = synthetic_set()
+        for run in runs:
+            run.result.find_table("Summary").rows[0][1] = 0.0  # aggregate_kbps
+        table = compare(runs, metrics=["aggregate_kbps"])
+        assert table.rows[0][2] == 0.0 and table.rows[0][3] == ""
+
+    def test_render_is_markdown(self):
+        text = render_compare(compare(synthetic_set()))
+        assert text.startswith("### Deltas vs algorithm=none")
+        assert "| metric |" in text
+
+    def test_live_equals_loaded_on_a_real_sweep(self, tmp_path):
+        """Acceptance: the delta table is identical whether runs came
+        from a live sweep or from loading its export directory."""
+        out = os.path.join(str(tmp_path), "out")
+        live = (
+            Study("meshgen", topology="mesh")
+            .grid(algorithm=["none", "ezflow"], **FAST_MESHGEN)
+            .run(jobs=2, out=out)
+        )
+        live_table = render_compare(compare(live))
+        loaded_table = render_compare(compare(ResultSet.load(out)))
+        assert live_table == loaded_table
+        assert "ezflow Δ%" in live_table
+
+
+class TestCompareCli:
+    def run_main(self, argv):
+        from repro.experiments.__main__ import main
+
+        return main(argv)
+
+    def test_live_then_loaded_byte_identical(self, tmp_path, capsys):
+        out = os.path.join(str(tmp_path), "out")
+        argv = ["compare", "meshgen", "--set", "topology=mesh"]
+        for key, value in FAST_MESHGEN.items():
+            argv += ["--set", f"{key}={value}"]
+        argv += ["--set", "algorithm=none,ezflow", "--jobs", "2", "--out", out]
+        assert self.run_main(argv) == 0
+        live = capsys.readouterr().out
+        assert "### Deltas vs algorithm=none" in live
+
+        assert self.run_main(["compare", os.path.join(out, ".")]) == 0
+        loaded = capsys.readouterr().out
+        assert loaded == live
+        with open(os.path.join(out, "compare.md")) as handle:
+            assert handle.read() == live.rstrip("\n") + "\n"
+
+    def test_bad_baseline_spelling_exit_2(self, capsys):
+        assert self.run_main(["compare", "meshgen", "--baseline", "junk"]) == 2
+        assert "KEY=VALUE" in capsys.readouterr().err
+
+    def test_grid_with_directory_target_exit_2(self, tmp_path, capsys):
+        for run in synthetic_set():
+            run.save(str(tmp_path))
+        code = self.run_main(
+            ["compare", str(tmp_path), "--set", "algorithm=none,ezflow"]
+        )
+        assert code == 2
+        assert "live sweeps" in capsys.readouterr().err
+
+    def test_replicates_build_an_aligned_seed_axis(self):
+        """compare's --replicates must give every variant the same seed
+        set (per-run-index seeds would leave all delta cells blank)."""
+        import argparse
+
+        from repro.experiments.__main__ import _build_study
+
+        args = argparse.Namespace(
+            grid_axes=["algorithm=none,ezflow", "topology=mesh"],
+            replicates=2,
+            base_seed=9,
+        )
+        study = _build_study(get_spec("meshgen"), args, aligned_seeds=True)
+        seeds_by_algorithm = {}
+        for request in study.requests():
+            kwargs = request.kwargs_dict
+            seeds_by_algorithm.setdefault(kwargs["algorithm"], set()).add(
+                kwargs["seed"]
+            )
+        assert seeds_by_algorithm["none"] == seeds_by_algorithm["ezflow"]
+        assert len(seeds_by_algorithm["none"]) == 2
+
+    def test_replicates_rejected_on_directory_target(self, tmp_path, capsys):
+        for run in synthetic_set():
+            run.save(str(tmp_path))
+        assert self.run_main(["compare", str(tmp_path), "--replicates", "2"]) == 2
+        assert "live sweeps" in capsys.readouterr().err
+
+    def test_no_matching_baseline_exit_2(self, tmp_path, capsys):
+        for run in synthetic_set(("ezflow", "diffq")):
+            run.save(str(tmp_path))
+        assert self.run_main(["compare", str(tmp_path)]) == 2
+        assert "baseline" in capsys.readouterr().err
+
+
+class TestListJson:
+    def test_catalogue_is_json_safe_and_complete(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["list", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data == json.loads(json.dumps(catalogue()))
+        by_id = {spec["id"]: spec for spec in data["experiments"]}
+        assert "meshgen" in by_id
+        meshgen = by_id["meshgen"]
+        assert {p["name"] for p in meshgen["params"]} >= {"topology", "nodes", "seed"}
+        defaults = {p["name"]: p["default"] for p in meshgen["params"]}
+        assert defaults["nodes"] == 16
+        assert meshgen["sweep_defaults"] == [
+            {"name": "topology", "values": ["mesh", "grid", "tree"]}
+        ]
+        # sequence-kind defaults are JSON lists, not tuples
+        stability = by_id["stability"]
+        cw = next(p for p in stability["params"] if p["name"] == "cw")
+        assert cw["default"] == [16, 16, 16, 16]
+
+    def test_plain_list_output_unchanged(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "meshgen" in out and "[sweep default axis] topology=mesh,grid,tree" in out
+
+
+class TestDeprecationShims:
+    def test_grid_requests_warns_and_delegates(self):
+        from repro.experiments.runner import grid_requests
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            requests = grid_requests("stability", {"slots": [100, 200]})
+        assert any(issubclass(w.category, DeprecationWarning) for w in caught)
+        assert requests == _grid_requests("stability", {"slots": [100, 200]})
+
+    def test_export_main_warns(self, tmp_path, capsys):
+        from repro.experiments.export import main as export_main
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            code = export_main(["stability", "--out", str(tmp_path)])
+        assert code == 0
+        assert any(issubclass(w.category, DeprecationWarning) for w in caught)
+
+
+class TestSweepRunnerShutdown:
+    def test_close_survives_torn_down_pool(self):
+        class TornDownPool:
+            def terminate(self):
+                raise AttributeError("'NoneType' object has no attribute 'util'")
+
+            def join(self):  # pragma: no cover - terminate raises first
+                raise TypeError("'NoneType' object is not callable")
+
+        runner = SweepRunner(jobs=2)
+        runner._pool = TornDownPool()
+        runner._pool_workers = 2
+        runner.close()  # must not raise
+        assert runner._pool is None and runner._pool_workers == 0
+        runner.close()  # idempotent
+
+    def test_close_survives_missing_attribute(self):
+        runner = SweepRunner.__new__(SweepRunner)  # __init__ never ran
+        runner.close()
+        assert runner._pool is None
+
+    def test_del_swallows_everything(self):
+        runner = SweepRunner(jobs=2)
+        runner.close = lambda: (_ for _ in ()).throw(SystemExit(3))
+        runner.__del__()  # BaseException swallowed
+
+    def test_interpreter_shutdown_is_silent(self):
+        """An unclosed parallel runner must not spew 'Exception ignored
+        in: ... __del__' noise when the interpreter exits."""
+        script = textwrap.dedent(
+            """
+            from repro.experiments.runner import SweepRunner, request_for
+
+            runner = SweepRunner(jobs=2)
+            runner.run(
+                [
+                    request_for("stability", {"slots": 300, "trials": 3}),
+                    request_for("stability", {"slots": 301, "trials": 3}),
+                ]
+            )
+            # deliberately no close(): __del__ runs at interpreter shutdown
+            """
+        )
+        import_root = os.path.dirname(
+            os.path.dirname(os.path.abspath(repro.__file__))
+        )
+        result = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            env={
+                "PATH": os.environ.get("PATH", "/usr/bin:/bin"),
+                "PYTHONPATH": import_root,
+            },
+            timeout=120,
+        )
+        assert result.returncode == 0, result.stderr
+        assert "Exception ignored" not in result.stderr, result.stderr

@@ -15,7 +15,7 @@ from repro.experiments.runner import (
     catalogue_requests,
     execute_request,
     expand_grid,
-    grid_requests,
+    _grid_requests,
     make_run_id,
     request_for,
 )
@@ -106,29 +106,29 @@ class TestGrid:
         assert expand_grid({}) == [{}]
 
     def test_grid_requests_unique_run_ids(self):
-        requests = grid_requests("stability", {"slots": [100, 200], "trials": [5, 6]})
+        requests = _grid_requests("stability", {"slots": [100, 200], "trials": [5, 6]})
         assert len(requests) == 4
         assert len({r.run_id for r in requests}) == 4
 
     def test_replicates_need_seed_source(self):
         with pytest.raises(ValueError):
-            grid_requests("stability", {"slots": [100]}, replicates=2)
+            _grid_requests("stability", {"slots": [100]}, replicates=2)
 
     def test_replicates_with_base_seed_derive_distinct_seeds(self):
-        requests = grid_requests(
+        requests = _grid_requests(
             "stability", {"slots": [100]}, base_seed=3, replicates=3
         )
         seeds = [r.kwargs_dict["seed"] for r in requests]
         assert len(set(seeds)) == 3
 
     def test_seed_axis_wins_over_derivation(self):
-        requests = grid_requests("stability", {"seed": [1, 2]}, base_seed=99)
+        requests = _grid_requests("stability", {"seed": [1, 2]}, base_seed=99)
         assert [r.kwargs_dict["seed"] for r in requests] == [1, 2]
 
     def test_seed_axis_with_replicates_gets_unique_run_ids(self):
         """Regression: identical kwargs per replicate must still yield
         distinct run ids (SweepRunner rejects duplicates)."""
-        requests = grid_requests("stability", {"seed": [1, 2]}, replicates=2)
+        requests = _grid_requests("stability", {"seed": [1, 2]}, replicates=2)
         assert len(requests) == 4
         assert len({r.run_id for r in requests}) == 4
         SweepRunner(jobs=1)  # and the batch is accepted
@@ -163,19 +163,19 @@ class TestSweepRunner:
             SweepRunner().run([request, request])
 
     def test_serial_results_in_request_order(self):
-        requests = grid_requests("stability", {"trials": [5, 6, 7], "slots": [1000]})
+        requests = _grid_requests("stability", {"trials": [5, 6, 7], "slots": [1000]})
         records = SweepRunner(jobs=1).run(requests)
         assert [r.request.run_id for r in records] == [r.run_id for r in requests]
 
     def test_on_record_fires_in_order(self):
-        requests = grid_requests("stability", {"trials": [5, 6], "slots": [1000]})
+        requests = _grid_requests("stability", {"trials": [5, 6], "slots": [1000]})
         seen = []
         SweepRunner(jobs=1).run(requests, on_record=lambda r: seen.append(r.request.run_id))
         assert seen == [r.run_id for r in requests]
 
     def test_parallel_and_serial_exports_byte_identical(self, tmp_path):
         """The determinism guarantee, extended across worker processes."""
-        requests = grid_requests(
+        requests = _grid_requests(
             "stability", {"slots": [1200], "trials": [8, 9]}, base_seed=5
         )
         serial_dir = tmp_path / "serial"
