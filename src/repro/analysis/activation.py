@@ -26,6 +26,8 @@ from __future__ import annotations
 import random
 from typing import Dict, FrozenSet, Iterable, List, Sequence, Tuple
 
+from repro.sim.slotted import sample_transmitters
+
 Pattern = Tuple[int, ...]
 
 
@@ -102,15 +104,14 @@ def sample_activation(
     hops: int,
     rng: random.Random,
 ) -> Pattern:
-    """Draw one activation vector by running the winner process."""
+    """Draw one activation vector by running the winner process.
+
+    Delegates to the generalised :func:`repro.sim.slotted.sample_transmitters`
+    with the chain's defer sets (``{winner-1, winner+1}``); the RNG draw
+    sequence is unchanged, so pinned seeds reproduce historical samples.
+    """
     contenders = set(i for i in range(hops) if (i == 0 or buffers[i] > 0))
-    transmitters: List[int] = []
-    while contenders:
-        ordered = sorted(contenders)
-        weights = _winner_weights(ordered, cw)
-        winner = rng.choices(ordered, weights=weights)[0]
-        transmitters.append(winner)
-        contenders = {
-            other for other in contenders if other != winner and abs(other - winner) > 1
-        }
+    transmitters = sample_transmitters(
+        contenders, cw, lambda winner: (winner - 1, winner + 1), rng
+    )
     return successful_links(transmitters, hops)

@@ -116,6 +116,28 @@ def build_suite() -> List[BenchCase]:
                 repeat=2,
             )
         )
+    # The slotted fast tier on the same scaling curve: n100 mirrors the
+    # event-core meshgen.n100 point (same kwargs plus fidelity), so a
+    # report documents the tier speedup directly; n400 is only feasible
+    # on this tier and tracks its own scaling headroom.
+    cases.append(
+        BenchCase(
+            "meshgen.slotted.n100",
+            "scenario",
+            "meshgen",
+            _kw(nodes=100, density=2.5, fidelity="slotted"),
+            repeat=2,
+        )
+    )
+    cases.append(
+        BenchCase(
+            "meshgen.slotted.n400",
+            "scenario",
+            "meshgen",
+            _kw(nodes=400, density=2.5, fidelity="slotted"),
+            repeat=2,
+        )
+    )
     # Dynamic link state: Gilbert-Elliott loss on every link plus a
     # churn/mobility schedule (down, move, up), so plan invalidation and
     # BFS re-routing are part of the measured trajectory.

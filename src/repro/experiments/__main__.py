@@ -6,6 +6,7 @@ Subcommands::
     run <ids...|all>          run one, several, or all experiments
     sweep <id> --grid k=v,..  cartesian parameter-grid sweep of one scenario
     compare <id|dir>          cross-run delta table vs. a baseline variant
+    validate-fidelity         event-vs-slotted engine-tier agreement report
 
 Examples::
 
@@ -34,6 +35,13 @@ directory (first argument is a directory). The table is byte-identical
 in both modes and at any ``--jobs`` count. These subcommands are thin
 shells over the stable programmatic API in :mod:`repro.results`
 (``Study`` / ``ResultSet`` / ``compare``).
+
+``validate-fidelity`` sweeps the cross-tier matrix (topologies x
+algorithms x both engine tiers) — or loads a previously exported one —
+pairs each event run with its slotted twin, and checks the headline
+metric deltas against the calibrated tolerances in
+:mod:`repro.results.validation`. Exit status 1 means at least one
+tolerance was violated (the CI ``fidelity-smoke`` job gates on this).
 
 Legacy spelling (``python -m repro.experiments fig1 --seed 2``) still
 works: a first argument that is not a subcommand is treated as ``run``.
@@ -83,7 +91,7 @@ from repro.results import (
     render_compare,
 )
 
-SUBCOMMANDS = ("run", "sweep", "list", "compare")
+SUBCOMMANDS = ("run", "sweep", "list", "compare", "validate-fidelity")
 
 
 def _add_jobs_out(parser: argparse.ArgumentParser) -> None:
@@ -225,6 +233,38 @@ def build_parser() -> argparse.ArgumentParser:
         "declared default seed)",
     )
     _add_jobs_out(cmp)
+
+    validate = sub.add_parser(
+        "validate-fidelity",
+        help="event-vs-slotted engine-tier agreement report",
+    )
+    validate.add_argument(
+        "--from",
+        dest="load_dir",
+        default=None,
+        metavar="DIR",
+        help="validate a previously exported sweep instead of running one",
+    )
+    validate.add_argument(
+        "--topologies",
+        default="mesh,grid",
+        metavar="T1,T2,...",
+        help="topology kinds for the live matrix (default mesh,grid)",
+    )
+    validate.add_argument(
+        "--algorithms",
+        default="none,ezflow,diffq",
+        metavar="A1,A2,...",
+        help="algorithms for the live matrix (default none,ezflow,diffq)",
+    )
+    validate.add_argument(
+        "--nodes", type=int, default=16, help="node count (default 16)"
+    )
+    validate.add_argument(
+        "--duration", type=float, default=30.0, help="run duration in seconds"
+    )
+    validate.add_argument("--seed", type=int, default=11, help="master RNG seed")
+    _add_jobs_out(validate)
 
     lst = sub.add_parser("list", help="print the scenario catalogue")
     lst.add_argument(
@@ -435,6 +475,82 @@ def cmd_compare(args) -> int:
     return 0
 
 
+def cmd_validate_fidelity(args) -> int:
+    from repro.results.validation import (
+        ValidationError,
+        validate_fidelity,
+        validation_study,
+    )
+
+    if args.jobs < 0:
+        raise ParameterValueError("--jobs must be >= 0 (0 = all available cores)")
+    if args.load_dir is not None:
+        results = ResultSet.load(args.load_dir)
+        print(f"loaded {len(results)} run(s) from {args.load_dir}", file=sys.stderr)
+    else:
+        topologies = [t.strip() for t in args.topologies.split(",") if t.strip()]
+        algorithms = [a.strip() for a in args.algorithms.split(",") if a.strip()]
+        if not topologies or not algorithms:
+            raise ParameterValueError(
+                "--topologies and --algorithms each need at least one value"
+            )
+        matrix = len(topologies) * len(algorithms) * 2
+        print(
+            f"validate-fidelity: {len(topologies)} topolog(ies) x "
+            f"{len(algorithms)} algorithm(s) x 2 tiers = {matrix} run(s)",
+            file=sys.stderr,
+        )
+        results = validation_study(
+            topologies=topologies,
+            algorithms=algorithms,
+            nodes=args.nodes,
+            duration_s=args.duration,
+            seed=args.seed,
+            jobs=args.jobs,
+        )
+        if args.out is not None:
+            results.save(args.out)
+            print(f"exported {len(results)} run(s) to {args.out}", file=sys.stderr)
+    try:
+        report = validate_fidelity(results)
+    except ValidationError as error:
+        print(error, file=sys.stderr)
+        return 2
+    from repro.experiments.export import table_to_markdown
+
+    rendered = table_to_markdown(report.table())
+    print(rendered)
+    for run_id in report.unpaired:
+        print(f"unpaired run (no twin on the other tier): {run_id}", file=sys.stderr)
+    if args.out is not None:
+        os.makedirs(args.out, exist_ok=True)
+        with open(os.path.join(args.out, "validation.md"), "w") as handle:
+            handle.write(rendered + "\n")
+        print(f"wrote {os.path.join(args.out, 'validation.md')}", file=sys.stderr)
+    if not report.ok:
+        violations = report.violations
+        print(
+            f"FIDELITY VALIDATION FAILED: {len(violations)} of "
+            f"{len(report.rows)} check(s) outside tolerance",
+            file=sys.stderr,
+        )
+        for row in violations:
+            scenario = ",".join(f"{k}={v}" for k, v in row.scenario)
+            print(
+                f"  {scenario} {row.metric}: event={row.baseline} "
+                f"slotted={row.candidate} (Δabs={row.abs_delta:.4f}, "
+                f"Δrel={row.rel_delta:.4f}, limit {row.limit})",
+                file=sys.stderr,
+            )
+        return 1
+    print(
+        f"fidelity validation OK: {len(report.rows)} check(s) over "
+        f"{report.pair_count} scenario pair(s)",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def main(argv=None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     # Legacy spelling: `python -m repro.experiments fig1 ...` == `run fig1 ...`.
@@ -448,6 +564,8 @@ def main(argv=None) -> int:
             return cmd_run(args)
         if args.command == "compare":
             return cmd_compare(args)
+        if args.command == "validate-fidelity":
+            return cmd_validate_fidelity(args)
         return cmd_sweep(args)
     except (UnknownParameterError, ParameterValueError, UnknownExperimentError) as error:
         # Only CLI-input errors are caught; errors raised inside an

@@ -6,22 +6,18 @@ A reproduction is most useful when its figure data can be replotted:
 and every table as GitHub-flavoured markdown, under a directory named
 after the experiment.
 
-CLI::
+To run an experiment *and* export it, use the package CLI::
 
-    python -m repro.experiments.export fig1 --out results/
+    python -m repro.experiments run fig1 --out results/
 """
 
 from __future__ import annotations
 
-import argparse
 import csv
 import json
 import os
-import time
-import warnings
 from typing import Iterable, List, Optional
 
-from repro.experiments import get_experiment
 from repro.experiments.common import ExperimentResult, Table, sparkline
 
 
@@ -177,45 +173,11 @@ def export_records(records: Iterable, out_dir: str) -> List[str]:
     return targets
 
 
-def main(argv=None) -> int:
-    """Deprecated CLI entry point: run one experiment and export it.
-
-    Superseded by ``python -m repro.experiments run <id> --out DIR``
-    (same artefacts plus manifest and index) and, programmatically, by
-    :meth:`repro.results.RunResult.save`. One-release shim.
-    """
-    warnings.warn(
-        "`python -m repro.experiments.export` is deprecated; use "
-        "`python -m repro.experiments run <id> --out DIR` "
-        "(shim will be removed after one release)",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    parser = argparse.ArgumentParser(
-        prog="python -m repro.experiments.export",
-        description="Run an experiment and export its series/tables to files.",
-    )
-    parser.add_argument("experiment", help="experiment id (see repro.experiments)")
-    parser.add_argument("--out", default="results", help="output directory")
-    parser.add_argument("--seed", type=int, default=None)
-    parser.add_argument("--duration", type=float, default=None)
-    parser.add_argument("--time-scale", type=float, default=None)
-    args = parser.parse_args(argv)
-
-    kwargs = {}
-    if args.seed is not None:
-        kwargs["seed"] = args.seed
-    if args.duration is not None:
-        kwargs["duration_s"] = args.duration
-    if args.time_scale is not None:
-        kwargs["time_scale"] = args.time_scale
-    started = time.time()
-    result = get_experiment(args.experiment)(**kwargs)
-    target = export_result(result, args.out)
-    print(f"wrote {target} ({len(result.series)} series, "
-          f"{len(result.tables)} tables, {time.time() - started:.1f} s)")
-    return 0
-
-
 if __name__ == "__main__":
-    raise SystemExit(main())
+    # The standalone CLI that used to live here (run one experiment and
+    # export it) was a deprecated shim for one release and is gone.
+    print(
+        "the repro.experiments.export CLI has been removed; use\n"
+        "  python -m repro.experiments run <id> --out DIR"
+    )
+    raise SystemExit(2)

@@ -1,0 +1,169 @@
+"""Scenario intermediate representation for the generated-topology family.
+
+*What* a scenario is — topology recipe, sampled flows, workload,
+algorithm, dynamics schedule — is a pure description; *how* it executes
+(event core vs slot-synchronous fast tier) is an engine-tier concern
+(:mod:`repro.sim.tiers`). This module is the boundary object between
+the two: :func:`build_ir` validates raw harness keywords exactly the
+way the historical ``meshgen.run`` signature did (same checks, same
+order, same exception types) and freezes them into a
+:class:`MeshScenarioIR`; tiers consume the IR without re-parsing
+anything.
+
+Shared scenario semantics that must not drift between tiers also live
+here: flow-source sampling (:func:`sample_flow_sources`, a pure
+function of the master seed through the registry's named streams) and
+the exported-parameter envelope (:func:`base_parameters`, which keeps
+the byte-identity rule: dynamic axes — and the ``fidelity`` axis —
+appear only when set off their defaults).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional
+
+from repro.phy.linkstate import LossSpec, parse_loss_spec
+from repro.topology.churn import ChurnSchedule, parse_churn_spec
+from repro.topology.meshgen import MeshSpec, MeshTopology
+
+ALGORITHMS = ("none", "ezflow", "diffq", "penalty")
+
+#: Static-penalty throttling factor (scenario 1's converged setting:
+#: relays at 2^4, sources at 2^7).
+PENALTY_Q = 0.125
+
+#: The engine tier the family historically ran on — the default whose
+#: exports must stay byte-identical.
+DEFAULT_FIDELITY = "event"
+
+
+@dataclass(frozen=True)
+class MeshScenarioIR:
+    """One validated generated-topology scenario, execution-agnostic.
+
+    Raw axis values are kept verbatim (they are what gets exported);
+    the parsed forms (``mesh_spec``, ``loss_spec``, ``churn_schedule``)
+    ride along so tiers never re-parse. ``fidelity`` names the engine
+    tier that will execute the scenario.
+    """
+
+    topology: str
+    nodes: int
+    density: float
+    gateways: int
+    flows: int
+    workload: str
+    algorithm: str
+    rate_kbps: float
+    duration_s: float
+    warmup_s: float
+    seed: int
+    loss: str
+    churn: str
+    fidelity: str
+    mesh_spec: MeshSpec
+    loss_spec: Optional[LossSpec]
+    churn_schedule: Optional[ChurnSchedule]
+
+    def describe(self) -> str:
+        """The harness description line (tier-independent)."""
+        return (
+            f"generated {self.topology} ({self.nodes} nodes) under "
+            f"{self.workload} workload, algorithm {self.algorithm}"
+        )
+
+
+def build_ir(
+    topology: str = "mesh",
+    nodes: int = 16,
+    density: float = 1.5,
+    gateways: int = 2,
+    flows: int = 4,
+    workload: str = "cbr",
+    algorithm: str = "none",
+    rate_kbps: float = 400.0,
+    duration_s: float = 30.0,
+    warmup_s: float = 5.0,
+    seed: int = 11,
+    loss: str = "",
+    churn: str = "",
+    fidelity: str = DEFAULT_FIDELITY,
+) -> MeshScenarioIR:
+    """Validate one scenario's axes and freeze them into an IR.
+
+    Checks run in the order the event harness historically applied
+    them — algorithm, loss spec, churn spec, topology spec — so every
+    existing error message and exception type is preserved.
+    """
+    if algorithm not in ALGORITHMS:
+        raise ValueError(
+            f"unknown algorithm {algorithm!r}; known: {', '.join(ALGORITHMS)}"
+        )
+    loss_spec = parse_loss_spec(loss) if loss else None
+    churn_schedule = parse_churn_spec(churn) if churn else None
+    mesh_spec = MeshSpec(
+        kind=topology, nodes=nodes, density=density, gateways=gateways, seed=seed
+    )
+    return MeshScenarioIR(
+        topology=topology,
+        nodes=nodes,
+        density=density,
+        gateways=gateways,
+        flows=flows,
+        workload=workload,
+        algorithm=algorithm,
+        rate_kbps=rate_kbps,
+        duration_s=duration_s,
+        warmup_s=warmup_s,
+        seed=seed,
+        loss=loss,
+        churn=churn,
+        fidelity=fidelity,
+        mesh_spec=mesh_spec,
+        loss_spec=loss_spec,
+        churn_schedule=churn_schedule,
+    )
+
+
+def sample_flow_sources(topology: MeshTopology, count: int, rng) -> List[Hashable]:
+    """Pick ``count`` distinct non-gateway source nodes, seeded.
+
+    ``rng`` is any :class:`~repro.sim.rng.RngRegistry` carrying the
+    scenario's master seed: the ``meshgen.flows`` stream is a pure
+    function of (seed, name), so both tiers — and anything else holding
+    a registry on the same seed — sample the same sources.
+    """
+    candidates = sorted(n for n in topology.positions if n not in topology.gateways)
+    stream = rng.stream("meshgen.flows")
+    if count >= len(candidates):
+        return candidates
+    return stream.sample(candidates, count)
+
+
+def base_parameters(ir: MeshScenarioIR, flow_count: int) -> Dict[str, object]:
+    """The exported ``parameters`` envelope shared by every tier.
+
+    Dynamic axes only appear when set, and ``fidelity`` only when it is
+    not the event default — so every pre-existing static event run
+    keeps its byte-identical artefacts.
+    """
+    parameters: Dict[str, object] = {
+        "topology": ir.topology,
+        "nodes": ir.nodes,
+        "density": ir.density,
+        "gateways": ir.gateways,
+        "flows": flow_count,
+        "workload": ir.workload,
+        "algorithm": ir.algorithm,
+        "rate_kbps": ir.rate_kbps,
+        "duration_s": ir.duration_s,
+        "seed": ir.seed,
+    }
+    if ir.loss:
+        parameters["loss"] = ir.loss
+    if ir.churn:
+        parameters["churn"] = ir.churn
+    if ir.fidelity != DEFAULT_FIDELITY:
+        parameters["fidelity"] = ir.fidelity
+    return parameters

@@ -15,61 +15,32 @@ regression surface.
 Algorithms: ``none`` (standard 802.11), ``ezflow`` (the paper),
 ``diffq`` (differential backlog with message passing), ``penalty``
 (static source throttling, q = 1/8 as in scenario 1).
+
+Execution is tiered: :func:`run` freezes its keywords into a scenario
+IR (:mod:`repro.experiments.ir`) and dispatches on the ``fidelity``
+axis through the engine-tier registry (:mod:`repro.sim.tiers`) —
+``event`` is the per-frame core whose exports are the family's
+byte-stable artefacts, ``slotted`` the slot-synchronous fast tier
+(:mod:`repro.experiments.tiers`). Cross-tier agreement is measured,
+not assumed: see :mod:`repro.results.validation`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List
-
-from repro.baselines.diffq import attach_diffq
-from repro.baselines.penalty import apply_penalty
-from repro.core import attach_ezflow
 from repro.experiments.common import ExperimentResult
-from repro.metrics.fairness import jain_fairness_index
-from repro.metrics.occupancy import group_mean_series, mean_occupancy_by_group
-from repro.metrics.sampling import BufferSampler
-from repro.net.node import FWD, OWN
-from repro.phy.linkstate import apply_loss_models, parse_loss_spec
-from repro.results.metrics import MESHGEN_SUMMARY_COLUMNS
-from repro.sim.units import seconds
-from repro.topology.churn import ChurnDriver, parse_churn_spec
-from repro.topology.meshgen import MeshSpec, build_mesh_network, mean_degree
-from repro.traffic.workloads import WorkloadSpec, attach_workload
+from repro.experiments.ir import ALGORITHMS, PENALTY_Q, build_ir
+from repro.sim.tiers import get_tier, register_tier_entry
 
-ALGORITHMS = ("none", "ezflow", "diffq", "penalty")
+__all__ = ["ALGORITHMS", "PENALTY_Q", "FIDELITIES", "run"]
 
-#: Static-penalty throttling factor (scenario 1's converged setting:
-#: relays at 2^4, sources at 2^7).
-PENALTY_Q = 0.125
+#: The engine tiers this family runs on (the ``fidelity`` axis values).
+FIDELITIES = ("event", "slotted")
 
-
-def _sample_flows(topology, count: int, network) -> List[Hashable]:
-    """Pick ``count`` distinct non-gateway source nodes, seeded."""
-    candidates = sorted(n for n in topology.positions if n not in topology.gateways)
-    stream = network.rng.stream("meshgen.flows")
-    if count >= len(candidates):
-        return candidates
-    return stream.sample(candidates, count)
-
-
-def _materialise_queues(network, topo, attached) -> None:
-    """Create every MAC queue/entity a flow's path will use, up front.
-
-    Node stacks create transmit entities lazily on first packet, so a
-    static strategy applied before traffic starts (penalty pins CWmin on
-    existing entities) would otherwise see an empty MAC and silently do
-    nothing. Windowed flows also need their reverse-path queues for the
-    ACK stream.
-    """
-    for item in attached:
-        flow = item.flow
-        paths = [topo.route_to_gateway(flow.src, flow.dst)]
-        if item.kind == "windowed":
-            paths.append(list(reversed(paths[0])))
-        for path in paths:
-            network.nodes[path[0]].queue_for(OWN, path[1])
-            for here, nxt in zip(path[1:], path[2:]):
-                network.nodes[here].queue_for(FWD, nxt)
+# Lazy entry points: resolving happens on the first run() of each
+# fidelity, so importing this module (e.g. to list the catalogue) never
+# drags in either execution back end.
+register_tier_entry("event", "repro.experiments.tiers:EVENT_TIER")
+register_tier_entry("slotted", "repro.experiments.tiers:SLOTTED_TIER")
 
 
 def run(
@@ -86,6 +57,7 @@ def run(
     seed: int = 11,
     loss: str = "",
     churn: str = "",
+    fidelity: str = "event",
 ) -> ExperimentResult:
     """Run one generated topology under one workload and algorithm.
 
@@ -99,170 +71,27 @@ def run(
     mutated map. Both default to off, in which case the run — and its
     exported bytes — is identical to the static harness. Hop counts and
     occupancy rings are reported against the *initial* layout.
+
+    ``fidelity`` selects the engine tier: ``event`` (default — the
+    per-frame core, byte-identical artefacts) or ``slotted`` (the
+    slot-synchronous fast tier, same scenario and metrics surface at a
+    fraction of the cost). Like the dynamic axes, a non-default
+    ``fidelity`` is recorded in the exported parameters.
     """
-    if algorithm not in ALGORITHMS:
-        raise ValueError(
-            f"unknown algorithm {algorithm!r}; known: {', '.join(ALGORITHMS)}"
-        )
-    loss_spec = parse_loss_spec(loss) if loss else None
-    churn_schedule = parse_churn_spec(churn) if churn else None
-    spec = MeshSpec(
-        kind=topology, nodes=nodes, density=density, gateways=gateways, seed=seed
+    ir = build_ir(
+        topology=topology,
+        nodes=nodes,
+        density=density,
+        gateways=gateways,
+        flows=flows,
+        workload=workload,
+        algorithm=algorithm,
+        rate_kbps=rate_kbps,
+        duration_s=duration_s,
+        warmup_s=warmup_s,
+        seed=seed,
+        loss=loss,
+        churn=churn,
+        fidelity=fidelity,
     )
-    # This harness only reads the buffer sampler's series; declaring
-    # that collapses every other counter/series (per-queue occupancy,
-    # MAC/PHY counters, controller telemetry) to recording no-ops —
-    # tracing is write-only, so exports stay byte-identical.
-    network, topo = build_mesh_network(spec, trace_exports=("buffer.",))
-    sources = _sample_flows(topo, flows, network)
-    endpoints = [(src, topo.nearest[src]) for src in sources]
-    attached = attach_workload(
-        network,
-        endpoints,
-        WorkloadSpec(kind=workload, rate_bps=rate_kbps * 1000.0),
-        flow_prefix="M",
-    )
-
-    _materialise_queues(network, topo, attached)
-    if algorithm == "ezflow":
-        attach_ezflow(network.nodes)
-    elif algorithm == "diffq":
-        attach_diffq(network.nodes)
-    elif algorithm == "penalty":
-        apply_penalty(network.nodes, sources=set(sources), q=PENALTY_Q)
-
-    if loss_spec is not None:
-        apply_loss_models(network, loss_spec)
-    churn_driver = None
-    if churn_schedule is not None:
-        # The driver carries the loss spec so reception edges created by
-        # mobility/up events become lossy the moment they appear.
-        churn_driver = ChurnDriver(network, churn_schedule, loss_spec=loss_spec)
-        churn_driver.install()
-
-    sampler = BufferSampler(network.engine, network.trace, network.nodes)
-    sampler.start()
-    network.run(until_us=seconds(duration_s))
-    start, end = seconds(warmup_s), seconds(duration_s)
-
-    parameters = {
-        "topology": topology,
-        "nodes": nodes,
-        "density": density,
-        "gateways": gateways,
-        "flows": len(endpoints),
-        "workload": workload,
-        "algorithm": algorithm,
-        "rate_kbps": rate_kbps,
-        "duration_s": duration_s,
-        "seed": seed,
-    }
-    # Dynamic axes only appear in the exported parameters when set, so
-    # every static run keeps its pre-existing byte-identical artefacts.
-    if loss:
-        parameters["loss"] = loss
-    if churn:
-        parameters["churn"] = churn
-    result = ExperimentResult(
-        "meshgen",
-        f"generated {topology} ({nodes} nodes) under {workload} workload, "
-        f"algorithm {algorithm}",
-        parameters=parameters,
-    )
-    result.note_runtime(network.engine)
-
-    shape = result.table(
-        "Topology",
-        ["kind", "nodes", "gateways", "mean_degree", "resample_attempts", "connected"],
-    )
-    shape.add(
-        topology,
-        nodes,
-        len(topo.gateways),
-        mean_degree(network.connectivity),
-        topo.attempts,
-        "yes",  # build_mesh_network validates; reaching here proves it
-    )
-
-    if loss or churn_driver is not None:
-        dynamics = result.table(
-            "Dynamic link state", ["loss_model", "lossy_links", "churn_events_applied"]
-        )
-        dynamics.add(
-            loss or "none",
-            # Final count: includes links churn created during the run.
-            network.channel.link_model_count(),
-            0 if churn_driver is None else len(churn_driver.applied),
-        )
-
-    per_flow = result.table(
-        "Per-flow goodput",
-        ["flow", "kind", "src", "gateway", "hops", "goodput_kbps", "path_delay_s"],
-    )
-    throughputs = []
-    generated_total = 0
-    delivered_total = 0
-    for item in attached:
-        flow = item.flow
-        hops = topo.depths[flow.dst][flow.src]
-        goodput = flow.throughput_bps(start, end) / 1000.0
-        generated = flow.generated
-        delivered = flow.delivered
-        if item.kind == "windowed":
-            # Go-back-N duplicates reach the gateway and are counted by
-            # the flow's delivery accounting; only in-order progress is
-            # goodput. Scale by the unique fraction and charge
-            # retransmissions as generations so the ratio stays honest.
-            unique = item.driver.delivered_in_order / max(1, delivered)
-            goodput *= unique
-            delivered = item.driver.delivered_in_order
-            generated += item.driver.retransmissions
-        throughputs.append(goodput)
-        generated_total += generated
-        delivered_total += delivered
-        per_flow.add(
-            str(flow.flow_id),
-            item.kind,
-            flow.src,
-            flow.dst,
-            hops,
-            goodput,
-            flow.mean_path_delay_s(start, end),
-        )
-
-    # Column names are the canonical scalar-metric names the results
-    # layer (repro.results) compares across runs; the constant keeps
-    # harness, compare tables and docs in sync without changing bytes.
-    summary = result.table("Summary", list(MESHGEN_SUMMARY_COLUMNS))
-    relays = sorted(n for n in topo.positions if n not in topo.gateways)
-    relay_backlog = sum(network.nodes[n].total_buffer_occupancy() for n in relays)
-    summary.add(
-        jain_fairness_index(throughputs),
-        sum(throughputs),
-        delivered_total / generated_total if generated_total else 0.0,
-        relay_backlog,
-    )
-
-    # Queue backlog by hop ring: every node grouped by BFS distance to
-    # its nearest gateway (gateways are ring 0).
-    rings: Dict[int, List[Hashable]] = {}
-    for node in sorted(topo.positions):
-        if node in topo.gateways:
-            rings.setdefault(0, []).append(node)
-        else:
-            gw = topo.nearest[node]
-            rings.setdefault(topo.depths[gw][node], []).append(node)
-    ring_table = result.table(
-        "Queue occupancy by hop", ["hop", "nodes", "mean_buffer_pkts"]
-    )
-    for hop, count, mean_buffer in mean_occupancy_by_group(sampler, rings, start, end):
-        ring_table.add(hop, count, mean_buffer)
-        result.series[f"occupancy.hop{hop}"] = group_mean_series(sampler, rings[hop])
-
-    result.notes.append(
-        "expected shape: ezflow holds fairness and aggregate goodput with "
-        "near-empty relay rings; none lets rings closest to the gateways "
-        "build backlog; diffq pays header overhead; penalty depends on "
-        "whether q=1/8 suits the generated depth"
-    )
-    return result
+    return get_tier(ir.fidelity).run_scenario(ir)

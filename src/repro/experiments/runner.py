@@ -24,7 +24,6 @@ import itertools
 import multiprocessing
 import os
 import time
-import warnings
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
@@ -38,8 +37,7 @@ class RunRequest:
 
     ``run_id`` names the run everywhere — progress lines, export
     directories, manifest entries. It must be unique within a batch and
-    filesystem-safe; :func:`request_for` and :func:`grid_requests` build
-    canonical ones.
+    filesystem-safe; :func:`request_for` builds canonical ones.
     """
 
     spec_id: str
@@ -118,8 +116,7 @@ def _grid_requests(
     timing, so ``replicates`` requires one of the two).
 
     Internal: :class:`repro.results.Study` is the public way to build
-    grid sweeps (the deprecated :func:`grid_requests` shim remains for
-    one release).
+    grid sweeps.
     """
     if replicates < 1:
         raise ValueError("replicates must be >= 1")
@@ -142,28 +139,6 @@ def _grid_requests(
             requests.append(request_for(spec.id, kwargs, run_id=run_id))
             index += 1
     return requests
-
-
-def grid_requests(
-    spec_id: str,
-    grid: Mapping[str, Sequence[object]],
-    base_seed: Optional[int] = None,
-    replicates: int = 1,
-) -> List[RunRequest]:
-    """Deprecated: build sweeps with :class:`repro.results.Study` instead.
-
-    One-release shim with identical behaviour (same requests, same run
-    ids); will be removed once callers have migrated to the Study
-    builder, which layers default axes, seed handling and ResultSet
-    collection on top of the same request construction.
-    """
-    warnings.warn(
-        "grid_requests() is deprecated; build sweeps with repro.results.Study "
-        "(shim will be removed after one release)",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return _grid_requests(spec_id, grid, base_seed=base_seed, replicates=replicates)
 
 
 def catalogue_requests(

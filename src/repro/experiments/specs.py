@@ -92,6 +92,11 @@ class ScenarioSpec:
     params: Tuple[Param, ...] = ()
     aliases: Tuple[str, ...] = ()
     sweep_defaults: Tuple[Tuple[str, Tuple[object, ...]], ...] = ()
+    #: Engine tiers this scenario can execute on (the ``fidelity``
+    #: axis). Every scenario runs on the event core; families that also
+    #: support a fast tier list it here so ``list --json`` consumers can
+    #: discover the axis without trying a run.
+    fidelities: Tuple[str, ...] = ("event",)
 
     def resolve(self) -> Callable[..., ExperimentResult]:
         """Import and return the entry-point callable."""
@@ -174,6 +179,7 @@ class ScenarioSpec:
                 {"name": name, "values": [jsonable(v) for v in values]}
                 for name, values in self.sweep_defaults
             ],
+            "fidelities": list(self.fidelities),
         }
 
 
@@ -307,8 +313,15 @@ SPECS: Tuple[ScenarioSpec, ...] = (
                 "churn/mobility schedule, '+'-joined events: "
                 "down:N@T | up:N@T | move:N@T:X:Y (empty = static)",
             ),
+            Param(
+                "fidelity",
+                "str",
+                "event",
+                "engine tier: event (per-frame core) | slotted (fast tier)",
+            ),
         ),
         sweep_defaults=(("topology", ("mesh", "grid", "tree")),),
+        fidelities=("event", "slotted"),
     ),
     ScenarioSpec(
         id="bidirectional",
@@ -343,10 +356,11 @@ def catalogue() -> Dict[str, object]:
     """The whole scenario catalogue as one JSON-safe document.
 
     Schema-versioned so downstream tooling can detect layout changes;
-    experiments appear in declaration (= ``list``) order.
+    experiments appear in declaration (= ``list``) order. Version 2
+    added the per-scenario ``fidelities`` list (engine tiers).
     """
     return {
-        "schema": "repro.experiments/catalogue/1",
+        "schema": "repro.experiments/catalogue/2",
         "experiments": [spec.to_dict() for spec in SPECS],
     }
 

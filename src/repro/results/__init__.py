@@ -17,13 +17,24 @@ lives here (see EXPERIMENTS.md, "Programmatic API"):
 * :func:`compare` / :func:`render_compare` — cross-run algorithm-delta
   tables on aligned layouts (the ``compare`` CLI subcommand renders
   exactly these).
+* :func:`validate_fidelity` / :class:`Tolerance` — engine-tier
+  agreement reports pairing ``fidelity=event`` runs with their
+  ``fidelity=slotted`` twins (the ``validate-fidelity`` CLI subcommand
+  and the CI ``fidelity-smoke`` job render exactly these).
 
 The CLI (``python -m repro.experiments``) and the benchmark suite are
-built on this layer; ad-hoc ``grid_requests`` plumbing is deprecated in
-its favour.
+built on this layer.
 """
 
 from repro.results.compare import ComparisonError, compare, default_metrics, render_compare
+from repro.results.validation import (
+    DEFAULT_TOLERANCES,
+    Tolerance,
+    ValidationError,
+    ValidationReport,
+    validate_fidelity,
+    validation_study,
+)
 from repro.results.metrics import (
     DEFAULT_ALIGN_KEYS,
     DEFAULT_BASELINE,
@@ -38,13 +49,19 @@ __all__ = [
     "DEFAULT_ALIGN_KEYS",
     "DEFAULT_BASELINE",
     "DEFAULT_COMPARE_METRICS",
+    "DEFAULT_TOLERANCES",
     "MESHGEN_SUMMARY_COLUMNS",
     "ResultSet",
     "RunResult",
     "Study",
+    "Tolerance",
+    "ValidationError",
+    "ValidationReport",
     "canonical_result_dict",
     "compare",
     "default_metrics",
     "execute_requests",
     "render_compare",
+    "validate_fidelity",
+    "validation_study",
 ]

@@ -27,7 +27,10 @@ class ComparisonError(ValueError):
 
 
 def _variant_of(run: RunResult, vary: Sequence[str]) -> Tuple[str, ...]:
-    return tuple(str(run.parameters.get(name)) for name in vary)
+    # effective_param so axes elided from exports at their default
+    # (e.g. fidelity=event) still classify: a fidelity sweep's event
+    # runs carry the axis only in their request kwargs.
+    return tuple(str(run.effective_param(name)) for name in vary)
 
 
 def _is_number(value: object) -> bool:
@@ -113,7 +116,7 @@ def compare(
             run
             for run in group
             if all(
-                _param_matches(run.parameters.get(name), value)
+                _param_matches(run.effective_param(name), value)
                 for name, value in baseline.items()
             )
         ]

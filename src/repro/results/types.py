@@ -149,6 +149,19 @@ class RunResult:
         """One parameter value (``default`` when the run does not set it)."""
         return self.result.parameters.get(name, default)
 
+    def effective_param(self, name: str, default: object = None) -> object:
+        """The run's value for ``name``: exported, requested, or ``default``.
+
+        Exported ``parameters`` win; the request ``kwargs`` fill in axes
+        the exporter elides when they sit at their default (the
+        byte-identity rule — e.g. ``fidelity`` is only exported when it
+        is not ``event``). Manifests persist kwargs, so loaded sweeps
+        resolve the same way live ones do.
+        """
+        if name in self.result.parameters:
+            return self.result.parameters[name]
+        return self.kwargs.get(name, default)
+
     # -- scalars ------------------------------------------------------
 
     @property

@@ -1,0 +1,622 @@
+"""Slot-synchronous fast tier: the paper's discrete-time model on graphs.
+
+The event core resolves every frame (backoff slots, SIFS, ACKs); this
+module resolves one *contention phase per slot* — the abstraction the
+paper itself uses to analyse EZ-flow (Section 6) and that
+:mod:`repro.analysis` implements for K-hop chains. Here the same three
+pieces are generalised from chains to arbitrary connectivity maps:
+
+* :func:`sample_transmitters` — the winner/activation process. Among
+  the backlogged contenders a winner is drawn with probability
+  proportional to ``1/cw``; the winner's reception neighbours
+  carrier-sense it and defer; everybody still contending is hidden from
+  all transmitters so far and recurses. On a chain with
+  ``defer_of(w) = {w-1, w+1}`` this consumes the *exact* RNG draw
+  sequence of :func:`repro.analysis.activation.sample_activation`
+  (which now delegates here).
+* contention-window rules — per-slot generalisations of the adaptation
+  laws the event tier implements as controllers:
+  :class:`FixedCw` (standard 802.11 / static penalty assignments),
+  :class:`EZFlowCw` (double above ``b_max``, halve below ``b_min`` on
+  the successor backlog, Eq. 2), :class:`DiffQCw` (window class from
+  the differential backlog).
+* :class:`SlottedMesh` — the per-node random walk: workload injection,
+  one contention phase, link outcomes (a transmission ``u -> v``
+  succeeds iff ``v`` decodes ``u`` and no *other* transmitter is
+  decodable at ``v`` — hidden 2-hop interferers are captured through,
+  matching :mod:`repro.phy`), buffer recursion ``b += z_in - z_out``,
+  then the cw rule.
+
+The module is dependency-free by design (duck-typed connectivity,
+injected RNG streams, loss models as a callable): it is the execution
+core behind the ``fidelity=slotted`` engine tier
+(:mod:`repro.experiments.tiers`), while scenario wiring — topology
+generation, routes, loss/churn schedules, metrics — stays in the
+harness layers. Deliberate approximations versus the event tier are
+documented on :class:`SlottedMesh`.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect
+from collections import deque
+from dataclasses import dataclass
+from itertools import accumulate
+from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
+
+NodeId = Hashable
+
+#: Event-tier DCF defaults (repro.mac.dcf.DcfConfig) mirrored here so
+#: the core stays import-free.
+DEFAULT_CWMIN = 16
+DEFAULT_MAXCW = 32768
+
+
+def sample_transmitters(
+    contenders,
+    cw,
+    defer_of: Callable[[NodeId], object],
+    rng,
+) -> List[NodeId]:
+    """Draw one slot's transmitter set by running the winner process.
+
+    ``contenders`` are the backlogged nodes; ``cw`` maps (or indexes)
+    node -> contention window, or ``None`` to assert every window is
+    equal (and a power of two); ``defer_of(winner)`` is the container
+    of nodes that carrier-sense the winner and leave the contender set
+    (its reception neighbours). Winners are appended in selection
+    order. The draw sequence — one uniform draw over the sorted
+    remaining contenders per winner — replicates ``rng.choices(ordered,
+    weights)`` bit for bit (same single ``rng.random()`` per winner,
+    same accumulate/bisect arithmetic), so pinned seeds produce
+    identical transmitter sets through either entry point; the inline
+    spelling just skips ``choices``'s per-call setup, which dominates
+    at mesh-tier call rates.
+
+    The ``cw=None`` fast path is *also* bit-identical, not just
+    distribution-identical: with a common weight ``w = 2**-k`` the
+    cumulative grid ``(i+1)*w`` and the dart ``random()*(n*w)`` are
+    both exact scalings by ``w`` (power-of-two multiplication never
+    rounds), so ``bisect`` over the grid reduces to
+    ``min(floor(random()*n), n-1)`` exactly.
+    """
+    ordered = sorted(contenders)
+    transmitters: List[NodeId] = []
+    if cw is None:
+        while ordered:
+            n = len(ordered)
+            if n == 1:
+                rng.random()  # consume the draw the weighted pick would
+                transmitters.append(ordered[0])
+                break
+            index = int(rng.random() * n)
+            winner = ordered[index if index < n else n - 1]
+            transmitters.append(winner)
+            deferring = defer_of(winner)
+            # Filtering keeps the list sorted — no re-sort per winner.
+            ordered = [
+                other
+                for other in ordered
+                if other != winner and other not in deferring
+            ]
+        return transmitters
+    while ordered:
+        if len(ordered) == 1:
+            rng.random()  # consume the draw the weighted pick would
+            transmitters.append(ordered[0])
+            break
+        cum = list(accumulate([1.0 / cw[node] for node in ordered]))
+        winner = ordered[
+            bisect(cum, rng.random() * (cum[-1] + 0.0), 0, len(cum) - 1)
+        ]
+        transmitters.append(winner)
+        deferring = defer_of(winner)
+        # Filtering keeps the list sorted — no re-sort per winner.
+        ordered = [
+            other for other in ordered if other != winner and other not in deferring
+        ]
+    return transmitters
+
+
+# -- contention-window rules ----------------------------------------------
+
+
+class FixedCw:
+    """Windows never adapt (standard 802.11, and the static penalty
+    strategy once the initial per-node assignment encodes it)."""
+
+    #: Static rules let the mesh skip the per-slot backlog snapshot.
+    adapts = False
+
+    def update(
+        self,
+        cw: Dict[NodeId, int],
+        backlog: Dict[NodeId, float],
+        successors: Dict[NodeId, Tuple[NodeId, ...]],
+    ) -> None:
+        """No-op."""
+
+
+class EZFlowCw:
+    """Eq. (2) on graphs: react to the *successor's* aggregate backlog.
+
+    A node with several next hops (multiple flows, multiple gateways)
+    reacts to its most congested successor — doubling wins over
+    halving, mirroring how the event-tier controller throttles a node
+    whenever any downstream queue builds.
+    """
+
+    def __init__(
+        self,
+        b_min: float = 0.05,
+        b_max: float = 20.0,
+        mincw: int = DEFAULT_CWMIN,
+        maxcw: int = DEFAULT_MAXCW,
+    ):
+        if not 0 <= b_min < b_max:
+            raise ValueError("need 0 <= b_min < b_max")
+        self.b_min = b_min
+        self.b_max = b_max
+        self.mincw = mincw
+        self.maxcw = maxcw
+
+    def update(self, cw, backlog, successors) -> None:
+        """Double/halve each node's window on its worst successor backlog."""
+        for node in sorted(successors):
+            b_next = max(backlog.get(nxt, 0.0) for nxt in successors[node])
+            if b_next > self.b_max:
+                cw[node] = min(cw[node] * 2, self.maxcw)
+            elif b_next < self.b_min:
+                cw[node] = max(cw[node] // 2, self.mincw)
+
+
+class DiffQCw:
+    """Differential-backlog window classes (the DiffQ baseline).
+
+    ``cwmin_for(differential)`` is the class lookup —
+    :meth:`repro.baselines.diffq.DiffQConfig.cwmin_for` in the harness.
+    The differential is taken against the node's *least* backlogged
+    successor (the link a backpressure scheduler would pick).
+    """
+
+    def __init__(self, cwmin_for: Callable[[float], int]):
+        self.cwmin_for = cwmin_for
+
+    def update(self, cw, backlog, successors) -> None:
+        """Set each node's window from its differential-backlog class."""
+        for node in sorted(successors):
+            drop = backlog.get(node, 0.0) - min(
+                backlog.get(nxt, 0.0) for nxt in successors[node]
+            )
+            cw[node] = self.cwmin_for(drop)
+
+
+# -- flows ----------------------------------------------------------------
+
+
+class SlottedFlow:
+    """One unidirectional flow and its per-slot injection process.
+
+    Kinds mirror :mod:`repro.traffic.workloads`: ``cbr`` accrues
+    fractional packet credit per slot (deterministic), ``onoff`` gates
+    the same credit behind exponential on/off phases drawn from the
+    flow's own stream, ``windowed`` keeps ``window`` packets in flight
+    (instant-ACK approximation: no reverse traffic, no retransmits, so
+    delivery is in order by construction).
+    """
+
+    def __init__(
+        self,
+        flow_id: str,
+        kind: str,
+        src: NodeId,
+        dst: NodeId,
+        pkts_per_slot: float = 0.0,
+        window: int = 0,
+        stream=None,
+        mean_on_s: float = 4.0,
+        mean_off_s: float = 2.0,
+    ):
+        if kind not in ("cbr", "onoff", "windowed"):
+            raise ValueError(f"unknown slotted workload kind {kind!r}")
+        if kind in ("cbr", "onoff") and pkts_per_slot <= 0:
+            raise ValueError("rate-driven kinds need pkts_per_slot > 0")
+        if kind == "onoff" and stream is None:
+            raise ValueError("onoff needs a phase stream")
+        if kind == "windowed" and window < 1:
+            raise ValueError("windowed needs window >= 1")
+        self.flow_id = flow_id
+        self.kind = kind
+        self.src = src
+        self.dst = dst
+        self.pkts_per_slot = pkts_per_slot
+        self.window = window
+        self.stream = stream
+        self.mean_on_s = mean_on_s
+        self.mean_off_s = mean_off_s
+        self.generated = 0
+        self.delivered = 0
+        self.lost = 0  # dropped in-network (tail drop, retry limit)
+        self._credit = 0.0
+        self._on = True  # onoff starts in a burst, like OnOffSource
+        self._phase_end_s = None  # drawn lazily on first slot
+
+    def inject(self, now_s: float) -> int:
+        """Packets to enqueue at the source for the slot starting now."""
+        if self.kind == "windowed":
+            # A loss releases its window slot (the go-back-N sender would
+            # retransmit; the instant-ACK approximation regenerates).
+            in_flight = self.generated - self.delivered - self.lost
+            return max(0, self.window - in_flight)
+        if self.kind == "onoff":
+            if self._phase_end_s is None:
+                self._phase_end_s = self.stream.expovariate(1.0 / self.mean_on_s)
+            while now_s >= self._phase_end_s:
+                self._on = not self._on
+                mean = self.mean_on_s if self._on else self.mean_off_s
+                self._phase_end_s += self.stream.expovariate(1.0 / mean)
+            if not self._on:
+                return 0
+        self._credit += self.pkts_per_slot
+        whole = int(self._credit)
+        self._credit -= whole
+        return whole
+
+
+@dataclass(frozen=True)
+class SlotOutcome:
+    """What one slot resolved to (the deterministic slot trace unit)."""
+
+    slot: int
+    transmitters: Tuple[NodeId, ...]  # in winner-selection order
+    successes: Tuple[Tuple[NodeId, NodeId, str], ...]  # (sender, receiver, flow)
+    delivered: Tuple[str, ...]  # flow ids that reached their destination
+
+
+# -- the mesh random walk -------------------------------------------------
+
+
+class SlottedMesh:
+    """Slot-synchronous random walk of (queues, cw) over a mesh.
+
+    ``connectivity`` is duck-typed: ``nodes()``, ``receivers_of(u)``,
+    ``senders_received_at(v)``, optionally ``sensors_of(u)`` and
+    ``is_active(u)`` (the churn mutation API). Live views are read
+    every slot, so a mutated map takes effect at the next slot with no
+    cache to refresh. Deference follows carrier sensing — the winner
+    silences ``sensors_of(winner)`` when the map distinguishes sensing
+    from reception (the event MAC's 550 m CSMA), falling back to
+    reception adjacency (the paper's chain abstraction, where imperfect
+    2-hop sensing is the point) — while *interference* is always rx
+    adjacency at the receiver: a concurrent transmitter the receiver
+    would decode collides, sense-only interferers are captured through.
+    Pass ``defer_of`` to pin either behaviour explicitly.
+
+    Routes arrive via :meth:`set_routes` as per-destination parent maps
+    (the BFS trees meshgen installs); the caller re-invokes it after
+    churn. ``loss`` is an optional ``(sender, receiver) -> model|None``
+    lookup; a model's ``erased()`` is consulted once per
+    otherwise-decodable transmission, exactly where the event channel
+    consults :mod:`repro.phy.linkstate`.
+
+    DCF's failure handling is retained at slot resolution: a failed
+    transmission doubles the sender's *effective* window (binary
+    exponential backoff above the rule-controlled base, capped at
+    ``cwmax``) and after ``retry_limit`` consecutive failures the head
+    packet is discarded — the two mechanisms behind the event tier's
+    starvation unfairness and bounded queues.
+
+    Queues are bounded (``buffer_cap`` packets per node, the event
+    MAC's 50-packet FIFO): source injections beyond the cap tail-drop
+    (still counted as generated, like the event sources), and a relayed
+    packet arriving at a full queue is lost after the MAC-level success.
+
+    Knowingly coarser than the event tier (the validation harness
+    measures the cost): one packet per transmitter per slot at a fixed
+    slot length, instant ACKs for windowed flows, one aggregate queue
+    per node where the event MAC keeps one per (class, next hop), and a
+    down node retains its queued packets until it returns.
+    """
+
+    def __init__(
+        self,
+        connectivity,
+        flows: Sequence[SlottedFlow],
+        rng,
+        slot_s: float,
+        initial_cw: Optional[Dict[NodeId, int]] = None,
+        rule=None,
+        loss: Optional[Callable[[NodeId, NodeId], object]] = None,
+        defer_of: Optional[Callable[[NodeId], object]] = None,
+        active_filter: object = "auto",
+        cwmax: int = 1024,
+        retry_limit: int = 7,
+        buffer_cap: Optional[int] = 50,
+    ):
+        if slot_s <= 0:
+            raise ValueError("slot length must be positive")
+        self.connectivity = connectivity
+        self.flows = list(flows)
+        self.rng = rng
+        self.slot_s = slot_s
+        self.rule = rule if rule is not None else FixedCw()
+        self.loss = loss
+        if defer_of is None:
+            defer_of = getattr(connectivity, "sensors_of", connectivity.receivers_of)
+        self.defer_of = defer_of
+        self._nodes = sorted(connectivity.nodes())
+        # ``active_filter``: "auto" consults the connectivity's churn
+        # state (``is_active``) every slot; None asserts a static map
+        # (no per-node check — the harness passes None when no churn is
+        # scheduled); a callable pins the check explicitly.
+        if active_filter == "auto":
+            active_filter = getattr(connectivity, "is_active", None)
+        self._is_active = active_filter
+        # active_filter=None asserts the map never mutates, which also
+        # means a planned next hop can never be a stale (churned) link.
+        self._static = active_filter is None
+        self.cwmax = cwmax
+        self.retry_limit = retry_limit
+        self.buffer_cap = buffer_cap
+        self.cw: Dict[NodeId, int] = {node: DEFAULT_CWMIN for node in self._nodes}
+        if initial_cw:
+            self.cw.update(initial_cw)
+        #: Consecutive failed attempts for the head packet, per node.
+        self.retries: Dict[NodeId, int] = {node: 0 for node in self._nodes}
+        #: Nodes currently in exponential backoff (retries > 0) — when
+        #: empty, the effective windows ARE the base windows and the
+        #: per-slot BEB adjustment is skipped wholesale.
+        self._backoff: set = set()
+        self.dropped = 0
+        #: FIFO of flow indexes, one entry per queued packet.
+        self.queues: Dict[NodeId, deque] = {node: deque() for node in self._nodes}
+        #: node -> (head flow index, next hop) for every node whose
+        #: queue head is routable — the slot's contender map, maintained
+        #: incrementally at the few queue-head changes per slot instead
+        #: of rebuilt from scratch (slot cost tracks queue *churn*, not
+        #: the backlogged-node count).
+        self._planned: Dict[NodeId, Tuple[int, NodeId]] = {}
+        #: Static rules (FixedCw) skip the per-slot backlog snapshot.
+        self._adaptive = getattr(self.rule, "adapts", True)
+        #: Every window stays at the (power-of-two) default forever:
+        #: contention can take the exact uniform-draw fast path in
+        #: :func:`sample_transmitters` whenever nobody is in backoff.
+        self._uniform_cw = (
+            not self._adaptive
+            and not initial_cw
+            and DEFAULT_CWMIN & (DEFAULT_CWMIN - 1) == 0
+        )
+        self.parents: Dict[NodeId, Dict[NodeId, NodeId]] = {}
+        self._trees: List[Dict[NodeId, NodeId]] = [{} for _ in self.flows]
+        self.successors: Dict[NodeId, Tuple[NodeId, ...]] = {}
+        self.slot = 0
+
+    @property
+    def now_s(self) -> float:
+        """Start time of the next slot."""
+        return self.slot * self.slot_s
+
+    def set_routes(self, parents: Dict[NodeId, Dict[NodeId, NodeId]]) -> None:
+        """Install per-destination next-hop trees (re-invoke after churn).
+
+        Also rebuilds the successor map the cw rules react to: for every
+        flow, each node on its current path maps to the next hop it
+        forwards over. A flow whose source the mutated graph cannot
+        reach contributes nothing (its packets wait, like stale-route
+        packets dying in MAC retries on the event tier).
+        """
+        self.parents = {dst: dict(tree) for dst, tree in parents.items()}
+        # One tree reference per flow index: the hot loop resolves a
+        # head packet's next hop with a single dict.get.
+        self._trees = [self.parents.get(flow.dst, {}) for flow in self.flows]
+        # New trees can reroute (or strand) any queued head packet, so
+        # the contender map is rebuilt wholesale — the only place it is.
+        trees = self._trees
+        self._planned = {}
+        for node, queue in self.queues.items():
+            if queue:
+                head = queue[0]
+                next_hop = trees[head].get(node)
+                if next_hop is not None:
+                    self._planned[node] = (head, next_hop)
+        successors: Dict[NodeId, set] = {}
+        for flow in self.flows:
+            tree = self.parents.get(flow.dst, {})
+            node = flow.src
+            hops = 0
+            while node != flow.dst and node in tree and hops <= len(self._nodes):
+                nxt = tree[node]
+                successors.setdefault(node, set()).add(nxt)
+                node = nxt
+                hops += 1
+        self.successors = {
+            node: tuple(sorted(nxts)) for node, nxts in sorted(successors.items())
+        }
+
+    def backlog(self) -> Dict[NodeId, int]:
+        """Aggregate queued packets per node (all flows)."""
+        return {node: len(queue) for node, queue in self.queues.items()}
+
+    def flow_backlog(self) -> Dict[str, int]:
+        """In-network packets per flow id, summed over every queue."""
+        counts = {flow.flow_id: 0 for flow in self.flows}
+        for queue in self.queues.values():
+            for index in queue:
+                counts[self.flows[index].flow_id] += 1
+        return counts
+
+    def _next_hop(self, node: NodeId, flow: SlottedFlow) -> Optional[NodeId]:
+        if node == flow.dst:
+            return None
+        return self.parents.get(flow.dst, {}).get(node)
+
+    def step(self, record: bool = True) -> Optional[SlotOutcome]:
+        """Inject, contend, resolve links, recurse buffers, adapt cw.
+
+        ``record=False`` skips assembling the :class:`SlotOutcome`
+        (returning None) — the harness loop drives thousands of slots
+        per run and reads the mesh's counters afterwards, so building
+        an unobserved trace unit per slot would be pure overhead.
+        """
+        now_s = self.slot * self.slot_s
+        queues = self.queues
+        flows = self.flows
+        planned = self._planned
+        trees = self._trees
+        for index, flow in enumerate(flows):
+            count = flow.inject(now_s)
+            if count:
+                flow.generated += count
+                queue = queues[flow.src]
+                fresh = not queue
+                if self.buffer_cap is not None:
+                    admitted = min(count, self.buffer_cap - len(queue))
+                    self.dropped += count - admitted
+                    flow.lost += count - admitted
+                    count = admitted
+                if count > 0:
+                    queue.extend([index] * count)
+                    if fresh:
+                        next_hop = trees[index].get(flow.src)
+                        if next_hop is not None:
+                            planned[flow.src] = (index, next_hop)
+
+        # Contenders: nodes with a routable head packet (the maintained
+        # map), minus down nodes when a churn run asks for the check.
+        is_active = self._is_active
+        if is_active is None:
+            contenders = planned
+        else:
+            contenders = {
+                node: entry for node, entry in planned.items() if is_active(node)
+            }
+
+        # Contention runs on the *effective* windows: the rule-set base
+        # doubled per consecutive failure (binary exponential backoff),
+        # capped at cwmax — bases the rules already pushed above cwmax
+        # (EZ-flow throttling) stay where the rule put them. With no
+        # node in backoff the effective windows ARE the base windows.
+        cw = self.cw
+        retries = self.retries
+        backoff = self._backoff
+        if backoff:
+            cwmax = self.cwmax
+            effective = {
+                node: (
+                    cw[node]
+                    if node not in backoff
+                    else min(cw[node] << retries[node], max(cwmax, cw[node]))
+                )
+                for node in contenders
+            }
+        else:
+            effective = None if self._uniform_cw else cw
+        transmitters = sample_transmitters(contenders, effective, self.defer_of, self.rng)
+        receivers_of = self.connectivity.receivers_of
+
+        # Link outcomes against the frozen transmitter set, then the
+        # queue moves — resolution order cannot feed back into itself.
+        # A lone transmitter on a static map cannot collide (no
+        # half-duplex conflict, no interferer, no stale link), which is
+        # the common slot under strong carrier sensing.
+        multi = len(transmitters) > 1
+        if multi:
+            tx_set = set(transmitters)
+            senders_received_at = self.connectivity.senders_received_at
+        loss_of = self.loss
+        static = self._static
+        successes: List[Tuple[NodeId, NodeId, str]] = []
+        delivered: List[str] = []
+        for sender in transmitters:
+            head, receiver = contenders[sender]
+            flow = flows[head]
+            if multi:
+                # Interferers: a decodable concurrent transmitter other
+                # than the sender (set intersection stays in C).
+                inter = tx_set & senders_received_at(receiver)
+                collided = (
+                    receiver in tx_set  # half-duplex receiver
+                    or receiver not in receivers_of(sender)  # stale/churned link
+                    or len(inter) > (sender in inter)
+                )
+            else:
+                collided = not static and receiver not in receivers_of(sender)
+            erased = False
+            if not collided and loss_of is not None:
+                model = loss_of(sender, receiver)
+                erased = model is not None and model.erased()
+            if collided or erased:
+                retries[sender] += 1
+                backoff.add(sender)
+                if retries[sender] > self.retry_limit:
+                    # DCF discard: the head packet exhausted its retries.
+                    queue = queues[sender]
+                    queue.popleft()
+                    if queue:
+                        new_head = queue[0]
+                        new_hop = trees[new_head].get(sender)
+                        if new_hop is not None:
+                            planned[sender] = (new_head, new_hop)
+                        else:
+                            del planned[sender]
+                    else:
+                        del planned[sender]
+                    retries[sender] = 0
+                    backoff.discard(sender)
+                    self.dropped += 1
+                    flow.lost += 1
+                continue
+            if backoff:
+                retries[sender] = 0
+                backoff.discard(sender)
+            queue = queues[sender]
+            queue.popleft()
+            if queue:
+                new_head = queue[0]
+                new_hop = trees[new_head].get(sender)
+                if new_hop is not None:
+                    planned[sender] = (new_head, new_hop)
+                else:
+                    del planned[sender]
+            else:
+                del planned[sender]
+            if record:
+                successes.append((sender, receiver, flow.flow_id))
+            if receiver == flow.dst:
+                flow.delivered += 1
+                if record:
+                    delivered.append(flow.flow_id)
+            elif (
+                self.buffer_cap is not None
+                and len(queues[receiver]) >= self.buffer_cap
+            ):
+                self.dropped += 1  # full relay queue: lost after the MAC success
+                flow.lost += 1
+            else:
+                relay_queue = queues[receiver]
+                if not relay_queue:
+                    next_hop = trees[head].get(receiver)
+                    if next_hop is not None:
+                        planned[receiver] = (head, next_hop)
+                relay_queue.append(head)
+
+        if self._adaptive:
+            self.rule.update(cw, self.backlog(), self.successors)
+        self.slot += 1
+        if not record:
+            return None
+        return SlotOutcome(
+            slot=self.slot - 1,
+            transmitters=tuple(transmitters),
+            successes=tuple(successes),
+            delivered=tuple(delivered),
+        )
+
+    def run(self, slots: int, on_slot: Optional[Callable[[SlotOutcome], None]] = None):
+        """Advance ``slots`` steps, optionally observing each outcome."""
+        if on_slot is None:
+            for _ in range(slots):
+                self.step(record=False)
+            return
+        for _ in range(slots):
+            on_slot(self.step())

@@ -1,0 +1,93 @@
+"""Engine tiers: the pluggable scenario-execution boundary.
+
+A *tier* is one way of executing a scenario: same topology, routes,
+workload and algorithm — different physics resolution. The event core
+(:mod:`repro.sim.engine` and everything built on it) is registered as
+``fidelity=event``; the slot-synchronous fast tier
+(:mod:`repro.sim.slotted`) as ``fidelity=slotted``. Harnesses dispatch
+through :func:`get_tier`, so *what* a scenario is (its intermediate
+representation, see :mod:`repro.experiments.ir`) stays decoupled from
+*how* it runs — the execution boundary the ROADMAP's compiled-core item
+also needs.
+
+The registry is deliberately import-light: tiers register either as
+live objects (:func:`register_tier`) or as lazy ``"module:attr"`` entry
+points (:func:`register_tier_entry`), mirroring how
+:class:`~repro.experiments.specs.ScenarioSpec` names its entry, so
+listing tier names never imports a heavy harness module.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Dict, List, Union
+
+
+class UnknownTierError(ValueError):
+    """A fidelity name that no registered engine tier answers to."""
+
+
+class EngineTier:
+    """Interface: execute a scenario IR at one fidelity.
+
+    ``name`` is the value of the scenario ``fidelity`` axis that selects
+    this tier. ``run_scenario`` consumes a scenario intermediate
+    representation and returns the harness's
+    :class:`~repro.experiments.common.ExperimentResult` — every tier
+    emits through the same metrics surface, so results layers
+    (:mod:`repro.results`) compare tiers like any other swept axis.
+    """
+
+    name: str = ""
+
+    def run_scenario(self, ir):
+        """Execute ``ir`` and return an ``ExperimentResult``."""
+        raise NotImplementedError
+
+
+#: Registered tiers: either a live EngineTier or a lazy "module:attr"
+#: entry-point string resolved (and cached) on first get_tier().
+_TIERS: Dict[str, Union[EngineTier, str]] = {}
+
+
+def register_tier(tier: EngineTier) -> EngineTier:
+    """Register a live tier object under its ``name``."""
+    if not tier.name:
+        raise ValueError("an engine tier needs a non-empty name")
+    _TIERS[tier.name] = tier
+    return tier
+
+
+def register_tier_entry(name: str, entry: str) -> None:
+    """Register a lazy ``"module:attr"`` tier entry point.
+
+    The module is imported only when :func:`get_tier` first resolves the
+    name; an already-registered live tier of the same name is kept.
+    """
+    if not name:
+        raise ValueError("an engine tier needs a non-empty name")
+    if ":" not in entry:
+        raise ValueError(f"tier entry {entry!r} is not of the form 'module:attr'")
+    existing = _TIERS.get(name)
+    if not isinstance(existing, EngineTier):
+        _TIERS[name] = entry
+
+
+def tier_names() -> List[str]:
+    """All registered fidelity names, sorted."""
+    return sorted(_TIERS)
+
+
+def get_tier(name: str) -> EngineTier:
+    """Resolve a fidelity name to its tier (importing lazily if needed)."""
+    try:
+        tier = _TIERS[name]
+    except KeyError:
+        raise UnknownTierError(
+            f"unknown fidelity {name!r}; known: {', '.join(tier_names()) or '(none)'}"
+        ) from None
+    if isinstance(tier, str):
+        module_name, _, attr = tier.partition(":")
+        tier = getattr(importlib.import_module(module_name), attr)
+        _TIERS[name] = tier
+    return tier

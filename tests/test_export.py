@@ -2,9 +2,11 @@
 
 import csv
 import os
+import subprocess
+import sys
 
 from repro.experiments.common import ExperimentResult
-from repro.experiments.export import export_result, main, table_to_markdown
+from repro.experiments.export import export_result, table_to_markdown
 
 
 def make_result():
@@ -40,14 +42,13 @@ class TestExport:
         assert "> a note" in text
         assert "seed=1" in text
 
-    def test_cli_runs_fast_experiment(self, tmp_path, capsys):
-        # The standalone export CLI is a deprecated shim (superseded by
-        # `run <id> --out`): it must warn, but keep working unchanged.
-        import pytest
-
-        with pytest.warns(DeprecationWarning):
-            code = main(["stability", "--out", str(tmp_path)])
-        assert code == 0
-        assert os.path.isdir(os.path.join(str(tmp_path), "stability"))
-        out = capsys.readouterr().out
-        assert "wrote" in out
+    def test_removed_cli_points_at_replacement(self):
+        # The standalone export CLI was removed after its deprecation
+        # cycle: running the module exits 2 and names the successor.
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.experiments.export"],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 2
+        assert "python -m repro.experiments run" in proc.stdout + proc.stderr

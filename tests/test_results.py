@@ -2,8 +2,8 @@
 
 Covers the typed RunResult/ResultSet layer (including the export
 round-trip guarantee), the Study builder, the cross-run compare tables,
-the CLI surfaces built on them (``compare``, ``list --json``), the
-deprecation shims, and the SweepRunner shutdown hardening.
+the CLI surfaces built on them (``compare``, ``list --json``), and
+the SweepRunner shutdown hardening.
 """
 
 import filecmp
@@ -12,7 +12,6 @@ import os
 import subprocess
 import sys
 import textwrap
-import warnings
 
 import pytest
 
@@ -509,6 +508,12 @@ class TestListJson:
         stability = by_id["stability"]
         cw = next(p for p in stability["params"] if p["name"] == "cw")
         assert cw["default"] == [16, 16, 16, 16]
+        # schema v2: every scenario advertises its engine tiers, and
+        # meshgen exposes the fidelity axis as a declared parameter
+        assert data["schema"] == "repro.experiments/catalogue/2"
+        assert meshgen["fidelities"] == ["event", "slotted"]
+        assert defaults["fidelity"] == "event"
+        assert stability["fidelities"] == ["event"]
 
     def test_plain_list_output_unchanged(self, capsys):
         from repro.experiments.__main__ import main
@@ -517,25 +522,6 @@ class TestListJson:
         out = capsys.readouterr().out
         assert "meshgen" in out and "[sweep default axis] topology=mesh,grid,tree" in out
 
-
-class TestDeprecationShims:
-    def test_grid_requests_warns_and_delegates(self):
-        from repro.experiments.runner import grid_requests
-
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            requests = grid_requests("stability", {"slots": [100, 200]})
-        assert any(issubclass(w.category, DeprecationWarning) for w in caught)
-        assert requests == _grid_requests("stability", {"slots": [100, 200]})
-
-    def test_export_main_warns(self, tmp_path, capsys):
-        from repro.experiments.export import main as export_main
-
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            code = export_main(["stability", "--out", str(tmp_path)])
-        assert code == 0
-        assert any(issubclass(w.category, DeprecationWarning) for w in caught)
 
 
 class TestSweepRunnerShutdown:
