@@ -26,6 +26,11 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.bench.micro import MICRO_CASES
+from repro.bench.storecase import STORE_CASES
+
+#: Every function-backed case (kind "micro"): engine micro-benchmarks
+#: plus the result-store throughput case.
+FUNCTION_CASES = {**MICRO_CASES, **STORE_CASES}
 
 SCHEMA = "repro.bench/1"
 
@@ -66,6 +71,28 @@ def build_suite() -> List[BenchCase]:
         cases.append(
             BenchCase(name, "micro", name, _kw(**kwargs), quick=True, repeat=3)
         )
+    # Result-store throughput (insert + streaming scalars_frame/compare
+    # over a synthetic store): the full 1k-run point, plus a short point
+    # for the CI quick lane.
+    cases.append(
+        BenchCase(
+            "results.store.n1000",
+            "micro",
+            "results.store.n1000",
+            _kw(runs=1000),
+            repeat=2,
+        )
+    )
+    cases.append(
+        BenchCase(
+            "results.store.quick.n200",
+            "micro",
+            "results.store.quick.n200",
+            _kw(runs=200),
+            quick=True,
+            repeat=2,
+        )
+    )
     # Every canned paper experiment at its default parameters: the
     # per-figure wall-time trajectory.
     for spec_id in (
@@ -195,7 +222,7 @@ def run_case(case: BenchCase, repeat: Optional[int] = None) -> Dict[str, object]
         testbedlab.clear_cache()
         gc.collect()
         if case.kind == "micro":
-            fn, _defaults = MICRO_CASES[case.target]
+            fn, _defaults = FUNCTION_CASES[case.target]
             started = time.perf_counter()
             stats = fn(**case.kwargs_dict)
             wall = time.perf_counter() - started

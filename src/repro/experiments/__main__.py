@@ -68,6 +68,7 @@ import sys
 from typing import Dict, List, Optional
 
 from repro.experiments.runner import (
+    InjectedSweepFault,
     RunRecord,
     catalogue_requests,
     request_for,
@@ -84,10 +85,12 @@ from repro.experiments.specs import (
 )
 from repro.results import (
     ComparisonError,
+    ResultLoadError,
     ResultSet,
     Study,
     compare,
     execute_requests,
+    open_store,
     render_compare,
 )
 
@@ -106,6 +109,18 @@ def _add_jobs_out(parser: argparse.ArgumentParser) -> None:
         default=None,
         metavar="DIR",
         help="export results (JSON/CSV/markdown + EXPERIMENTS.md) to DIR",
+    )
+
+
+def _add_store(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--store",
+        default=None,
+        metavar="PATH",
+        help="checkpoint runs into a result store and skip runs already "
+        "present (a .sqlite/.db path = sqlite backend, anything else = "
+        "an export-tree directory); an interrupted sweep re-issued "
+        "against the same store resumes instead of restarting",
     )
 
 
@@ -146,6 +161,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_overrides(run)
     _add_jobs_out(run)
+    _add_store(run)
 
     sweep = sub.add_parser("sweep", help="parameter-grid sweep of one scenario")
     sweep.add_argument("experiment", metavar="ID", help="scenario id to sweep")
@@ -173,7 +189,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="derive a distinct seed per run from this base",
     )
+    sweep.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume an interrupted sweep from --store (requires --store; "
+        "already-checkpointed runs are reported as cache hits)",
+    )
     _add_jobs_out(sweep)
+    _add_store(sweep)
 
     cmp = sub.add_parser(
         "compare", help="cross-run delta table vs. a baseline variant"
@@ -233,6 +256,7 @@ def build_parser() -> argparse.ArgumentParser:
         "declared default seed)",
     )
     _add_jobs_out(cmp)
+    _add_store(cmp)
 
     validate = sub.add_parser(
         "validate-fidelity",
@@ -264,7 +288,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--duration", type=float, default=30.0, help="run duration in seconds"
     )
     validate.add_argument("--seed", type=int, default=11, help="master RNG seed")
+    validate.add_argument(
+        "--static-only",
+        action="store_true",
+        help="skip the dynamic link-state cases (one loss pair, one "
+        "churn pair) and validate the static matrix only",
+    )
     _add_jobs_out(validate)
+    _add_store(validate)
 
     lst = sub.add_parser("list", help="print the scenario catalogue")
     lst.add_argument(
@@ -316,14 +347,38 @@ def _parse_grid(axes: List[str], spec: ScenarioSpec) -> Dict[str, List[str]]:
 
 def _print_record(record: RunRecord) -> None:
     print(record.result.render())
-    print(f"(wall time {record.wall_s:.1f} s)")
+    if record.cached:
+        print(f"(cache hit; originally {record.wall_s:.1f} s)")
+    else:
+        print(f"(wall time {record.wall_s:.1f} s)")
     print()
 
 
-def _run_batch(requests, jobs: int, out: Optional[str]) -> ResultSet:
+def _run_batch(
+    requests, jobs: int, out: Optional[str], store_path: Optional[str] = None
+) -> ResultSet:
     if jobs < 0:
         raise ParameterValueError("--jobs must be >= 0 (0 = all available cores)")
-    results = execute_requests(requests, jobs=jobs, on_record=_print_record)
+    store = open_store(store_path) if store_path else None
+    hits = [0]
+
+    def on_record(record: RunRecord) -> None:
+        hits[0] += record.cached
+        _print_record(record)
+
+    try:
+        results = execute_requests(
+            requests, jobs=jobs, on_record=on_record, store=store
+        )
+        if store is not None:
+            print(
+                f"store {store_path}: {hits[0]} cache hit(s), "
+                f"{len(results) - hits[0]} executed",
+                file=sys.stderr,
+            )
+    finally:
+        if store is not None:
+            store.close()
     if out is not None:
         results.save(out)
         print(f"exported {len(results)} run(s) to {out}", file=sys.stderr)
@@ -365,7 +420,7 @@ def cmd_run(args) -> int:
         requests = [
             r for r in requests if not (r.run_id in seen or seen.add(r.run_id))
         ]
-    _run_batch(requests, args.jobs, args.out)
+    _run_batch(requests, args.jobs, args.out, store_path=args.store)
     return 0
 
 
@@ -394,16 +449,19 @@ def _build_study(spec: ScenarioSpec, args, aligned_seeds: bool = False) -> Study
 
 def cmd_sweep(args) -> int:
     spec = get_spec(args.experiment)
+    if args.resume and not args.store:
+        raise ParameterValueError("--resume requires --store PATH")
     # Scenario default axes (e.g. meshgen's topology kinds) expand
     # unless the CLI pinned them — the Study builder applies that rule.
     study = _build_study(spec, args)
     requests = study.requests()
     print(
         f"sweep {spec.id}: {len(requests)} run(s) "
-        f"({len(study.axes())} axis/axes, {args.replicates} replicate(s))",
+        f"({len(study.axes())} axis/axes, {args.replicates} replicate(s))"
+        + (" [resuming]" if args.resume else ""),
         file=sys.stderr,
     )
-    _run_batch(requests, args.jobs, args.out)
+    _run_batch(requests, args.jobs, args.out, store_path=args.store)
     return 0
 
 
@@ -436,27 +494,53 @@ def cmd_compare(args) -> int:
     # A bare scenario id always means a live sweep, even if a directory
     # of the same name happens to exist; spell directories with a path
     # separator (results/meshgen, ./meshgen) to load an export instead.
+    # A file target is a sqlite result store and loads the same way.
     is_spec_id = os.sep not in args.target and args.target in spec_ids()
-    if not is_spec_id and os.path.isdir(args.target):
+    if not is_spec_id and (os.path.isdir(args.target) or os.path.isfile(args.target)):
         if args.grid_axes or args.replicates != 1 or args.base_seed is not None:
             raise ParameterValueError(
                 "--set/--grid/--replicates/--base-seed only apply to live "
-                "sweeps, not directory targets"
+                "sweeps, not directory or store targets"
             )
-        results = ResultSet.load(args.target)
-        print(f"loaded {len(results)} run(s) from {args.target}", file=sys.stderr)
+        if os.path.isfile(args.target):
+            with open_store(args.target) as store:
+                results = ResultSet.from_store(store)
+                # Materialise within the context: lazy loaders hold the
+                # store connection, and rendering needs only scalars
+                # anyway, but --out re-exports want full payloads.
+                if args.out is not None:
+                    for run in results:
+                        run.result
+            print(
+                f"loaded {len(results)} run(s) from store {args.target}",
+                file=sys.stderr,
+            )
+        else:
+            results = ResultSet.load(args.target)
+            print(f"loaded {len(results)} run(s) from {args.target}", file=sys.stderr)
+        if args.out is not None:
+            results.save(args.out)
+            print(f"exported {len(results)} run(s) to {args.out}", file=sys.stderr)
     else:
         spec = get_spec(args.target)
         requests = _build_study(spec, args, aligned_seeds=True).requests()
         print(f"compare {spec.id}: sweeping {len(requests)} run(s)", file=sys.stderr)
 
         def progress(record: RunRecord) -> None:
+            cached = " [cache hit]" if record.cached else ""
             print(
-                f"  {record.request.run_id} ({record.wall_s:.1f} s)",
+                f"  {record.request.run_id} ({record.wall_s:.1f} s){cached}",
                 file=sys.stderr,
             )
 
-        results = execute_requests(requests, jobs=args.jobs, on_record=progress)
+        store = open_store(args.store) if args.store else None
+        try:
+            results = execute_requests(
+                requests, jobs=args.jobs, on_record=progress, store=store
+            )
+        finally:
+            if store is not None:
+                store.close()
         if args.out is not None:
             results.save(args.out)
             print(f"exported {len(results)} run(s) to {args.out}", file=sys.stderr)
@@ -477,6 +561,7 @@ def cmd_compare(args) -> int:
 
 def cmd_validate_fidelity(args) -> int:
     from repro.results.validation import (
+        DYNAMIC_CASES,
         ValidationError,
         validate_fidelity,
         validation_study,
@@ -494,20 +579,29 @@ def cmd_validate_fidelity(args) -> int:
             raise ParameterValueError(
                 "--topologies and --algorithms each need at least one value"
             )
-        matrix = len(topologies) * len(algorithms) * 2
+        dynamic_cases = () if args.static_only else DYNAMIC_CASES
+        matrix = (len(topologies) * len(algorithms) + len(dynamic_cases)) * 2
         print(
             f"validate-fidelity: {len(topologies)} topolog(ies) x "
-            f"{len(algorithms)} algorithm(s) x 2 tiers = {matrix} run(s)",
+            f"{len(algorithms)} algorithm(s) + {len(dynamic_cases)} dynamic "
+            f"case(s), x 2 tiers = {matrix} run(s)",
             file=sys.stderr,
         )
-        results = validation_study(
-            topologies=topologies,
-            algorithms=algorithms,
-            nodes=args.nodes,
-            duration_s=args.duration,
-            seed=args.seed,
-            jobs=args.jobs,
-        )
+        store = open_store(args.store) if args.store else None
+        try:
+            results = validation_study(
+                topologies=topologies,
+                algorithms=algorithms,
+                nodes=args.nodes,
+                duration_s=args.duration,
+                seed=args.seed,
+                jobs=args.jobs,
+                dynamic_cases=dynamic_cases,
+                store=store,
+            )
+        finally:
+            if store is not None:
+                store.close()
         if args.out is not None:
             results.save(args.out)
             print(f"exported {len(results)} run(s) to {args.out}", file=sys.stderr)
@@ -567,7 +661,17 @@ def main(argv=None) -> int:
         if args.command == "validate-fidelity":
             return cmd_validate_fidelity(args)
         return cmd_sweep(args)
-    except (UnknownParameterError, ParameterValueError, UnknownExperimentError) as error:
+    except InjectedSweepFault as error:
+        # Test-only fault injection (REPRO_SWEEP_FAULT_AFTER): the sweep
+        # died mid-flight on purpose; the store keeps what completed.
+        print(error, file=sys.stderr)
+        return 3
+    except (
+        UnknownParameterError,
+        ParameterValueError,
+        UnknownExperimentError,
+        ResultLoadError,
+    ) as error:
         # Only CLI-input errors are caught; errors raised inside an
         # experiment harness (including KeyErrors) propagate as-is.
         message = error.args[0] if error.args else error

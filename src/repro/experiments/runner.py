@@ -51,11 +51,30 @@ class RunRequest:
 
 @dataclass
 class RunRecord:
-    """The outcome of one request."""
+    """The outcome of one request.
+
+    ``cached`` is True when the record came out of a
+    :class:`~repro.results.store.ResultStore` instead of being executed
+    (a checkpoint/dedupe hit); ``wall_s`` then reports the originally
+    measured wall seconds.
+    """
 
     request: RunRequest
     result: ExperimentResult
     wall_s: float
+    cached: bool = False
+
+
+class InjectedSweepFault(RuntimeError):
+    """The test-only fault raised by the :data:`FAULT_ENV` kill hook."""
+
+
+#: Setting this env var to N makes :meth:`SweepRunner.run` raise
+#: :class:`InjectedSweepFault` right after the N-th *executed* (non-
+#: cached) run has been completed, reported and checkpointed — the CI
+#: ``resume-smoke`` job uses it to kill a sweep mid-flight
+#: deterministically and then resume it against the same store.
+FAULT_ENV = "REPRO_SWEEP_FAULT_AFTER"
 
 
 def _slug(value: object) -> str:
@@ -277,25 +296,59 @@ class SweepRunner:
         self,
         requests: Sequence[RunRequest],
         on_record: Optional[Callable[[RunRecord], None]] = None,
+        store=None,
     ) -> List[RunRecord]:
-        """Execute ``requests`` and return their records, in request order."""
+        """Execute ``requests`` and return their records, in request order.
+
+        With ``store`` (a :class:`~repro.results.store.ResultStore`),
+        requests whose content key is already present come back as cache
+        hits (``record.cached``) without executing, every freshly
+        executed run is checkpointed into the store the moment it
+        finishes, and a fully completed batch is finalized — so a killed
+        sweep re-issued against the same store resumes instead of
+        restarting, with artefacts byte-identical to an uninterrupted
+        run (runs are pure functions of their requests). ``on_record``
+        still fires in request order, for hits and fresh runs alike.
+        """
         run_ids = [r.run_id for r in requests]
         if len(set(run_ids)) != len(run_ids):
             raise ValueError("duplicate run ids in batch")
-        records: List[RunRecord] = []
-        if self.jobs == 1 or len(requests) <= 1:
+        fault_after = int(os.environ.get(FAULT_ENV, "0") or 0)
+        cached: Dict[str, RunRecord] = {}
+        pending: List[RunRequest] = list(requests)
+        if store is not None:
+            pending = []
             for request in requests:
-                record = execute_request(request)
-                if on_record is not None:
-                    on_record(record)
-                records.append(record)
-            return records
-        pool = self._ensure_pool(len(requests))
-        chunksize = self._chunksize(len(requests), self._pool_workers)
-        for record in pool.imap(execute_request, requests, chunksize=chunksize):
+                hit = store.get(request)
+                if hit is not None:
+                    cached[request.run_id] = hit
+                else:
+                    pending.append(request)
+        if self.jobs == 1 or len(pending) <= 1:
+            fresh = (execute_request(request) for request in pending)
+        else:
+            pool = self._ensure_pool(len(pending))
+            chunksize = self._chunksize(len(pending), self._pool_workers)
+            fresh = pool.imap(execute_request, pending, chunksize=chunksize)
+        records: List[RunRecord] = []
+        executed = 0
+        for request in requests:
+            record = cached.get(request.run_id)
+            if record is None:
+                record = next(fresh)
+                if store is not None:
+                    store.put(record)
+                executed += 1
             if on_record is not None:
                 on_record(record)
             records.append(record)
+            if not record.cached and fault_after and executed >= fault_after:
+                raise InjectedSweepFault(
+                    f"injected fault after {executed} executed run(s) "
+                    f"({FAULT_ENV}={fault_after})"
+                )
+        if store is not None:
+            store.finalize(records)
         return records
 
 

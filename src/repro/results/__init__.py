@@ -17,6 +17,12 @@ lives here (see EXPERIMENTS.md, "Programmatic API"):
 * :func:`compare` / :func:`render_compare` — cross-run algorithm-delta
   tables on aligned layouts (the ``compare`` CLI subcommand renders
   exactly these).
+* :class:`ResultStore` and its backends (:class:`DirectoryStore`,
+  :class:`SqliteStore`) plus :func:`open_store` — pluggable places for
+  results to live, keyed by content ``(spec id, canonical params,
+  seed)``: sweeps checkpoint into a store as runs finish, resume after
+  a kill, and dedupe identical requests into cache hits
+  (``Study(...).run(store=...)``, the CLI's ``--store``/``--resume``).
 * :func:`validate_fidelity` / :class:`Tolerance` — engine-tier
   agreement reports pairing ``fidelity=event`` runs with their
   ``fidelity=slotted`` twins (the ``validate-fidelity`` CLI subcommand
@@ -41,11 +47,29 @@ from repro.results.metrics import (
     DEFAULT_COMPARE_METRICS,
     MESHGEN_SUMMARY_COLUMNS,
 )
+from repro.results.store import (
+    DirectoryStore,
+    ResultStore,
+    SqliteStore,
+    content_key,
+    open_store,
+)
 from repro.results.study import Study, execute_requests
-from repro.results.types import ResultSet, RunResult, canonical_result_dict
+from repro.results.types import (
+    ResultLoadError,
+    ResultSet,
+    RunResult,
+    canonical_result_dict,
+)
 
 __all__ = [
     "ComparisonError",
+    "DirectoryStore",
+    "ResultLoadError",
+    "ResultStore",
+    "SqliteStore",
+    "content_key",
+    "open_store",
     "DEFAULT_ALIGN_KEYS",
     "DEFAULT_BASELINE",
     "DEFAULT_COMPARE_METRICS",

@@ -162,6 +162,7 @@ class Study:
         out: Optional[str] = None,
         on_record=None,
         runner: Optional[SweepRunner] = None,
+        store=None,
     ) -> ResultSet:
         """Execute the study and return its :class:`~repro.results.ResultSet`.
 
@@ -169,15 +170,21 @@ class Study:
         ``out`` additionally exports the deterministic artefact tree
         (per-run dirs + manifest + index), byte-identical to the CLI's
         ``sweep ... --out``. Pass an existing ``runner`` to reuse a
-        persistent worker pool across several studies.
+        persistent worker pool across several studies. ``store`` (a
+        :class:`~repro.results.store.ResultStore`) checkpoints every
+        completed run and turns already-stored requests into cache hits,
+        so re-running an interrupted study against the same store
+        resumes instead of restarting.
         """
         requests = self.requests()
         if runner is not None:
             results = ResultSet.from_records(
-                runner.run(requests, on_record=on_record)
+                runner.run(requests, on_record=on_record, store=store)
             )
         else:
-            results = execute_requests(requests, jobs=jobs, on_record=on_record)
+            results = execute_requests(
+                requests, jobs=jobs, on_record=on_record, store=store
+            )
         if out is not None:
             results.save(out)
         return results
@@ -187,10 +194,18 @@ class Study:
         return f"Study({self._spec.id!r}, {axes or 'defaults'})"
 
 
-def execute_requests(requests: Sequence[RunRequest], jobs: int = 1, on_record=None) -> ResultSet:
-    """Run pre-built requests and wrap the records (CLI plumbing helper)."""
+def execute_requests(
+    requests: Sequence[RunRequest], jobs: int = 1, on_record=None, store=None
+) -> ResultSet:
+    """Run pre-built requests and wrap the records (CLI plumbing helper).
+
+    ``store`` enables checkpoint/resume/dedupe semantics — see
+    :meth:`~repro.experiments.runner.SweepRunner.run`.
+    """
     if jobs < 0:
         raise ValueError("jobs must be >= 0 (0 = all available cores)")
     with SweepRunner(jobs=default_jobs() if jobs == 0 else jobs) as runner:
-        records: List[RunRecord] = runner.run(requests, on_record=on_record)
+        records: List[RunRecord] = runner.run(
+            requests, on_record=on_record, store=store
+        )
     return ResultSet.from_records(records)

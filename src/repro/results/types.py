@@ -37,6 +37,25 @@ RESULT_JSON = "result.json"
 MANIFEST_JSON = "manifest.json"
 
 
+class ResultLoadError(RuntimeError):
+    """A stored run could not be loaded: missing or corrupt artefact.
+
+    Raised by :meth:`RunResult.load` / :meth:`ResultSet.load` instead of
+    the bare ``FileNotFoundError`` / ``json.JSONDecodeError`` that used
+    to escape from deep inside the export layer. Always names the run id
+    and the offending artefact, so a failed load is diagnosable — and so
+    the resume machinery (:mod:`repro.results.store`) can treat a torn
+    checkpoint (a run directory the killed process only half wrote) as
+    "not present" and simply re-run it.
+    """
+
+    def __init__(self, message: str, run_id: Optional[str] = None,
+                 artifact: Optional[str] = None):
+        super().__init__(message)
+        self.run_id = run_id
+        self.artifact = artifact
+
+
 def canonical_result_dict(result: ExperimentResult) -> Dict[str, object]:
     """The JSON-normalised plain-data form of a result.
 
@@ -63,22 +82,63 @@ class RunResult:
     :meth:`load` on a directory a previous run exported.
     """
 
-    __slots__ = ("run_id", "spec_id", "result", "kwargs", "wall_s", "_scalars")
+    __slots__ = (
+        "run_id",
+        "spec_id",
+        "kwargs",
+        "wall_s",
+        "_result",
+        "_loader",
+        "_parameters",
+        "_scalars",
+    )
 
     def __init__(
         self,
-        result: ExperimentResult,
+        result: Optional[ExperimentResult],
         run_id: Optional[str] = None,
         spec_id: Optional[str] = None,
         kwargs: Optional[Mapping[str, object]] = None,
         wall_s: Optional[float] = None,
+        *,
+        loader: Optional[Callable[[], ExperimentResult]] = None,
+        parameters: Optional[Mapping[str, object]] = None,
+        scalars: Optional[Mapping[str, object]] = None,
     ):
-        self.result = result
+        if result is None and loader is None:
+            raise ValueError("RunResult needs a result or a lazy loader")
+        if result is None and run_id is None:
+            raise ValueError("a lazily loaded RunResult needs an explicit run_id")
+        self._result = result
+        self._loader = loader
         self.run_id = run_id or result.experiment
-        self.spec_id = spec_id or result.experiment
+        self.spec_id = spec_id or (result.experiment if result else self.run_id)
         self.kwargs = dict(kwargs or {})
         self.wall_s = wall_s
-        self._scalars: Optional[Dict[str, object]] = None
+        self._parameters = None if parameters is None else dict(parameters)
+        self._scalars: Optional[Dict[str, object]] = (
+            None if scalars is None else dict(scalars)
+        )
+
+    @property
+    def result(self) -> ExperimentResult:
+        """The wrapped experiment result, materialised on first access.
+
+        A store-backed run (see :meth:`repro.results.store.ResultStore.
+        result_set`) starts with only its columnar side — parameters and
+        scalar metrics — and fetches the full payload (series, tables)
+        through ``loader`` the first time something needs it. Streaming
+        verbs like ``scalars_frame`` and :func:`repro.results.compare`
+        therefore never materialise payloads at all.
+        """
+        if self._result is None:
+            self._result = self._loader()
+        return self._result
+
+    @property
+    def materialized(self) -> bool:
+        """Whether the full payload has been fetched (False = columnar only)."""
+        return self._result is not None
 
     # -- construction -------------------------------------------------
 
@@ -107,12 +167,28 @@ class RunResult:
         The directory name is the run id (the export layer names run
         directories that way); ``identity`` keyword overrides
         (``run_id``, ``spec_id``, ``kwargs``) let a manifest-aware
-        caller supply richer identity.
+        caller supply richer identity. A missing or corrupt artefact
+        raises :class:`ResultLoadError` naming the run id and the file.
         """
-        with open(os.path.join(path, RESULT_JSON)) as handle:
-            data = json.load(handle)
-        result = ExperimentResult.from_dict(data)
         identity.setdefault("run_id", os.path.basename(os.path.normpath(path)))
+        run_id = identity["run_id"]
+        artifact = os.path.join(path, RESULT_JSON)
+        try:
+            with open(artifact) as handle:
+                data = json.load(handle)
+            result = ExperimentResult.from_dict(data)
+        except FileNotFoundError:
+            raise ResultLoadError(
+                f"run {run_id!r}: missing artefact {artifact}",
+                run_id=run_id,
+                artifact=artifact,
+            ) from None
+        except (json.JSONDecodeError, KeyError, TypeError) as error:
+            raise ResultLoadError(
+                f"run {run_id!r}: corrupt artefact {artifact} ({error})",
+                run_id=run_id,
+                artifact=artifact,
+            ) from error
         return cls(result, **identity)
 
     # -- delegation ---------------------------------------------------
@@ -127,6 +203,8 @@ class RunResult:
 
     @property
     def parameters(self) -> Dict[str, object]:
+        if self._parameters is not None and self._result is None:
+            return self._parameters
         return self.result.parameters
 
     @property
@@ -147,7 +225,7 @@ class RunResult:
 
     def param(self, name: str, default: object = None) -> object:
         """One parameter value (``default`` when the run does not set it)."""
-        return self.result.parameters.get(name, default)
+        return self.parameters.get(name, default)
 
     def effective_param(self, name: str, default: object = None) -> object:
         """The run's value for ``name``: exported, requested, or ``default``.
@@ -158,8 +236,8 @@ class RunResult:
         is not ``event``). Manifests persist kwargs, so loaded sweeps
         resolve the same way live ones do.
         """
-        if name in self.result.parameters:
-            return self.result.parameters[name]
+        if name in self.parameters:
+            return self.parameters[name]
         return self.kwargs.get(name, default)
 
     # -- scalars ------------------------------------------------------
@@ -257,8 +335,14 @@ class ResultSet:
         manifest_path = os.path.join(out_dir, MANIFEST_JSON)
         runs: List[RunResult] = []
         if os.path.isfile(manifest_path):
-            with open(manifest_path) as handle:
-                manifest = json.load(handle)
+            try:
+                with open(manifest_path) as handle:
+                    manifest = json.load(handle)
+            except json.JSONDecodeError as error:
+                raise ResultLoadError(
+                    f"corrupt manifest {manifest_path} ({error})",
+                    artifact=manifest_path,
+                ) from error
             for entry in manifest.get("runs", []):
                 runs.append(
                     RunResult.load(
@@ -269,16 +353,37 @@ class ResultSet:
                     )
                 )
             return cls(runs)
-        for name in sorted(os.listdir(out_dir)):
+        try:
+            names = sorted(os.listdir(out_dir))
+        except FileNotFoundError:
+            raise ResultLoadError(
+                f"{out_dir}: no such export directory", artifact=out_dir
+            ) from None
+        for name in names:
             run_dir = os.path.join(out_dir, name)
             if os.path.isfile(os.path.join(run_dir, RESULT_JSON)):
                 runs.append(RunResult.load(run_dir))
         if not runs:
-            raise FileNotFoundError(
+            raise ResultLoadError(
                 f"{out_dir}: no manifest.json and no run directories "
-                f"containing {RESULT_JSON}"
+                f"containing {RESULT_JSON}",
+                artifact=out_dir,
             )
         return cls(runs)
+
+    @classmethod
+    def from_store(cls, store, **params: object) -> "ResultSet":
+        """All runs of a :class:`~repro.results.store.ResultStore`.
+
+        Runs come back in sorted-run-id order with their columnar side
+        (parameters, scalar metrics) populated eagerly and the full
+        payload (series, tables) loaded lazily per run on first access —
+        ``scalars_frame``/:func:`~repro.results.compare` over the
+        returned set therefore stream over the store index instead of
+        materialising every payload. ``params`` filter CLI-tolerantly,
+        like :meth:`filter`.
+        """
+        return store.result_set(**params)
 
     # -- sequence protocol --------------------------------------------
 

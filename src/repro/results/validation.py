@@ -82,11 +82,31 @@ class Tolerance:
 #: Calibrated default bands (see module docstring for provenance).
 #: Worst observed deltas on the default matrix (n16, 30 s): aggregate
 #: rel 0.28, delivered rel 0.29 / abs 0.17, jain abs 0.46 — each limit
-#: leaves ~20-40% headroom over the measured envelope.
+#: leaves ~20-40% headroom over the measured envelope. The dynamic
+#: link-state cases (:data:`DYNAMIC_CASES`) sit inside the same bands.
 DEFAULT_TOLERANCES: Tuple[Tolerance, ...] = (
     Tolerance("aggregate_kbps", rel_tol=0.40, abs_tol=30.0),
     Tolerance("delivered_ratio", rel_tol=0.35, abs_tol=0.15),
     Tolerance("jain_fairness", abs_tol=0.55),
+)
+
+#: Dynamic link-state pair blocks appended to the standard matrix: one
+#: lossy case and one churn case, each a single (topology, algorithm)
+#: point run on both tiers. Loss and churn exercise entirely different
+#: slotted-tier code paths (per-slot loss draws, plan invalidation +
+#: re-routing) than the static grid, so the agreement gate covers them
+#: explicitly rather than by hope. The timeline of the churn case (node
+#: 2 — a relay the default layout actually routes through, so the
+#: outage forces a detour on both tiers — down at t=10 s, back at
+#: t=20 s) assumes the default 30 s duration; callers shrinking
+#: ``duration_s`` below 20 s should pass their own cases (or none).
+#: Measured envelope of the dynamic pairs (n16, 30 s, seed 11): churn
+#: aggregate rel 0.31 / delivered abs 0.08 / jain abs 0.31; loss
+#: aggregate rel 0.22 / delivered abs 0.06 / jain abs 0.50 — the loss
+#: pair's jain delta is the tightest check in the whole matrix.
+DYNAMIC_CASES: Tuple[Mapping[str, object], ...] = (
+    {"topology": "mesh", "algorithm": "ezflow", "loss": "iid:0.1"},
+    {"topology": "mesh", "algorithm": "ezflow", "churn": "down:2@10+up:2@20"},
 )
 
 
@@ -251,16 +271,23 @@ def validation_study(
     duration_s: float = 30.0,
     seed: int = 11,
     jobs: int = 1,
+    dynamic_cases: Optional[Sequence[Mapping[str, object]]] = None,
+    store=None,
 ) -> ResultSet:
     """Run the standard cross-tier matrix and return its result set.
 
-    The CI ``fidelity-smoke`` job runs exactly this (2 topologies x 3
-    algorithms x both tiers = 12 runs) before handing the set to
-    :func:`validate_fidelity`.
+    The CI ``fidelity-smoke`` job runs exactly this: the static grid (2
+    topologies x 3 algorithms x both tiers = 12 runs) plus one
+    event/``candidate`` pair per dynamic link-state case
+    (:data:`DYNAMIC_CASES` unless overridden; pass ``()`` to skip, the
+    CLI's ``--static-only``) before handing the set to
+    :func:`validate_fidelity`. ``store`` checkpoints every block into
+    one :class:`~repro.results.store.ResultStore`, so an interrupted
+    matrix resumes instead of restarting.
     """
     from repro.results.study import Study
 
-    return (
+    runs: List[RunResult] = list(
         Study("meshgen")
         .grid(
             topology=list(topologies),
@@ -268,5 +295,15 @@ def validation_study(
             fidelity=[BASELINE_FIDELITY, candidate],
         )
         .set(nodes=nodes, duration_s=duration_s, seed=seed)
-        .run(jobs=jobs)
+        .run(jobs=jobs, store=store)
     )
+    if dynamic_cases is None:
+        dynamic_cases = DYNAMIC_CASES
+    for case in dynamic_cases:
+        runs.extend(
+            Study("meshgen")
+            .grid(fidelity=[BASELINE_FIDELITY, candidate])
+            .set(nodes=nodes, duration_s=duration_s, seed=seed, **case)
+            .run(jobs=jobs, store=store)
+        )
+    return ResultSet(runs)

@@ -46,6 +46,18 @@ class TestSuiteDeclaration:
             stats = fn(**small)
             assert stats["events"] > 0, name
 
+    def test_store_case_declared_and_executes(self):
+        names = {case.name for case in build_suite()}
+        assert "results.store.n1000" in names
+        assert "results.store.quick.n200" in {
+            case.name for case in build_suite() if case.quick
+        }
+        from repro.bench.storecase import results_store
+
+        stats = results_store(runs=10)
+        # 10 inserts + 10 streamed frame rows + compare table lines.
+        assert stats["events"] > 20
+
 
 class TestRunAndReport:
     def test_micro_case_entry_shape(self):

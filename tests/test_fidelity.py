@@ -402,3 +402,68 @@ class TestValidateFidelityCli:
         Study("meshgen").set(nodes=12, duration_s=4.0).run().save(str(out_dir))
         assert main(["validate-fidelity", "--from", str(out_dir)]) == 2
         assert "pair" in capsys.readouterr().err
+
+    def test_static_only_skips_dynamic_cases(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(list(self.ARGS) + ["--static-only"]) == 0
+        captured = capsys.readouterr()
+        assert "0 dynamic case(s), x 2 tiers = 4 run(s)" in captured.err
+        assert "iid:0.1" not in captured.out
+
+    def test_dynamic_cases_in_default_matrix(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(list(self.ARGS)) == 0
+        captured = capsys.readouterr()
+        assert "2 dynamic case(s), x 2 tiers = 8 run(s)" in captured.err
+        assert "iid:0.1" in captured.out
+        assert "down:2@10+up:2@20" in captured.out
+
+
+class TestValidationStudyDynamicCases:
+    def test_dynamic_blocks_pair_and_align(self):
+        from repro.results import validate_fidelity, validation_study
+        from repro.results.validation import DYNAMIC_CASES
+
+        results = validation_study(
+            topologies=("mesh",),
+            algorithms=("ezflow",),
+            nodes=12,
+            duration_s=4.0,
+            seed=11,
+            dynamic_cases=({"topology": "mesh", "algorithm": "ezflow", "loss": "iid:0.1"},),
+        )
+        assert len(results) == 4  # (static + loss case) x 2 tiers
+        report = validate_fidelity(
+            results, tolerances=[Tolerance("aggregate_kbps", rel_tol=10.0)]
+        )
+        assert report.pair_count == 2
+        assert not report.unpaired
+        scenarios = {row.scenario_dict.get("loss") for row in report.rows}
+        assert scenarios == {"None", "iid:0.1"}
+        # The default cases stay well-formed meshgen parameter sets.
+        for case in DYNAMIC_CASES:
+            get_spec("meshgen").validate(case)
+
+    def test_dynamic_cases_checkpoint_into_store(self, tmp_path):
+        from repro.results import SqliteStore, validation_study
+
+        store = SqliteStore(str(tmp_path / "matrix.sqlite"))
+        kwargs = dict(
+            topologies=("mesh",),
+            algorithms=("ezflow",),
+            nodes=12,
+            duration_s=4.0,
+            seed=11,
+            dynamic_cases=({"topology": "mesh", "algorithm": "ezflow", "loss": "iid:0.1"},),
+            store=store,
+        )
+        validation_study(**kwargs)
+        assert len(store) == 4
+        # Re-running the same matrix against the store is all cache hits
+        # (the store digest cannot change).
+        digest = store.digest()
+        validation_study(**kwargs)
+        assert store.digest() == digest
+        store.close()

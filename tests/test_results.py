@@ -28,6 +28,7 @@ from repro.results import (
     ComparisonError,
     DEFAULT_COMPARE_METRICS,
     MESHGEN_SUMMARY_COLUMNS,
+    ResultLoadError,
     ResultSet,
     RunResult,
     Study,
@@ -224,8 +225,44 @@ class TestResultSet:
         assert rs.run_ids == ("r~ezflow~11", "r~none~11")  # sorted scan order
 
     def test_load_empty_dir_raises(self, tmp_path):
-        with pytest.raises(FileNotFoundError):
+        with pytest.raises(ResultLoadError, match="no manifest.json and no run"):
             ResultSet.load(str(tmp_path))
+
+    def test_load_without_manifest_ignores_unrelated_files(self, tmp_path):
+        for run in synthetic_set():
+            run.save(str(tmp_path))
+        (tmp_path / "notes.txt").write_text("scratch\n")
+        (tmp_path / "empty_dir").mkdir()
+        (tmp_path / "half_run").mkdir()
+        (tmp_path / "half_run" / "summary.md").write_text("no result.json\n")
+        rs = ResultSet.load(str(tmp_path))
+        assert rs.run_ids == ("r~ezflow~11", "r~none~11")
+
+    def test_load_without_manifest_mixed_experiments(self, tmp_path):
+        for run in synthetic_set():
+            run.save(str(tmp_path))
+        other = ExperimentResult("stability", "synthetic", parameters={"trials": 3})
+        other.table("Summary", ["aggregate_kbps"]).add(1.0)
+        RunResult(other, run_id="z~stability", spec_id="stability").save(
+            str(tmp_path)
+        )
+        rs = ResultSet.load(str(tmp_path))
+        assert rs.run_ids == ("r~ezflow~11", "r~none~11", "z~stability")
+        assert {run.spec_id for run in rs} == {"meshgen", "stability"}
+
+    def test_manifestless_load_matches_manifest_load(self, tmp_path):
+        """Scan order (sorted names) must equal manifest order for sorted ids."""
+        rs = synthetic_set(seeds=(11, 12))
+        rs.save(str(tmp_path))
+        with_manifest = ResultSet.load(str(tmp_path))
+        os.remove(tmp_path / "manifest.json")
+        scanned = ResultSet.load(str(tmp_path))
+        assert scanned.run_ids == tuple(sorted(with_manifest.run_ids))
+        for run_id in scanned.run_ids:
+            assert (
+                scanned[run_id].result.to_dict()
+                == with_manifest[run_id].result.to_dict()
+            )
 
 
 class TestResultSetSweepIntegration:
