@@ -57,6 +57,19 @@ Option values are validated against each scenario's declared parameter
 schema before anything runs: a typo'd or unsupported option is reported
 as such (exit 2), and genuine errors inside an experiment propagate as
 themselves instead of being mislabelled "unknown option".
+
+``run`` and ``sweep`` execute fault-tolerantly on request:
+``--on-error continue`` records failing runs as typed failure records
+(exported as ``failures.json``, checkpointed into ``--store``) instead
+of aborting, ``--on-error retry:N`` retries with capped exponential
+backoff first, and ``--run-timeout SECONDS`` kills any single run
+exceeding that wall time. ``--fault-plan`` injects deterministic chaos
+for testing (see :mod:`repro.experiments.faults`).
+
+Exit codes: 0 success; 1 a run timed out or crashed its worker under
+``--on-error fail``; 2 invalid CLI input; 3 the test-only injected
+sweep kill; 4 the batch completed under ``--on-error continue`` but
+some runs failed; 130 interrupted (Ctrl-C).
 """
 
 from __future__ import annotations
@@ -67,9 +80,13 @@ import os
 import sys
 from typing import Dict, List, Optional
 
+from repro.experiments.faults import FaultPlan
 from repro.experiments.runner import (
+    ErrorPolicy,
     InjectedSweepFault,
     RunRecord,
+    RunTimeoutError,
+    WorkerCrashError,
     catalogue_requests,
     request_for,
 )
@@ -124,6 +141,34 @@ def _add_store(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_fault_opts(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--on-error",
+        default="fail",
+        metavar="POLICY",
+        help="what a failing run does to the batch: 'fail' aborts "
+        "(default), 'continue' records a typed failure and keeps going "
+        "(exit 4, failures.json exported), 'retry:N' retries with capped "
+        "exponential backoff first",
+    )
+    parser.add_argument(
+        "--run-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="kill any single run exceeding this wall time (counts as a "
+        "failure under the --on-error policy)",
+    )
+    parser.add_argument(
+        "--fault-plan",
+        default=None,
+        metavar="PLAN",
+        help="inject deterministic faults into chosen runs, e.g. "
+        "'2=raise+5=crash+8=hang:60' (testing/CI; see "
+        "repro.experiments.faults; env: REPRO_FAULT_PLAN)",
+    )
+
+
 def _add_overrides(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=None, help="override the RNG seed")
     parser.add_argument(
@@ -162,6 +207,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_overrides(run)
     _add_jobs_out(run)
     _add_store(run)
+    _add_fault_opts(run)
 
     sweep = sub.add_parser("sweep", help="parameter-grid sweep of one scenario")
     sweep.add_argument("experiment", metavar="ID", help="scenario id to sweep")
@@ -197,6 +243,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_jobs_out(sweep)
     _add_store(sweep)
+    _add_fault_opts(sweep)
 
     cmp = sub.add_parser(
         "compare", help="cross-run delta table vs. a baseline variant"
@@ -346,6 +393,15 @@ def _parse_grid(axes: List[str], spec: ScenarioSpec) -> Dict[str, List[str]]:
 
 
 def _print_record(record: RunRecord) -> None:
+    if record.failure is not None:
+        failure = record.failure
+        print(
+            f"{failure.run_id}: FAILED [{failure.kind}] "
+            f"{failure.error}: {failure.message} "
+            f"({failure.attempts} attempt(s))"
+        )
+        print()
+        return
     print(record.result.render())
     if record.cached:
         print(f"(cache hit; originally {record.wall_s:.1f} s)")
@@ -354,8 +410,45 @@ def _print_record(record: RunRecord) -> None:
     print()
 
 
+def _fault_options(args):
+    """Parse --on-error/--run-timeout/--fault-plan into runner inputs."""
+    try:
+        policy = ErrorPolicy.parse(getattr(args, "on_error", "fail"))
+    except ValueError as error:
+        raise ParameterValueError(str(error)) from None
+    run_timeout = getattr(args, "run_timeout", None)
+    if run_timeout is not None and run_timeout <= 0:
+        raise ParameterValueError("--run-timeout must be positive")
+    plan_spec = getattr(args, "fault_plan", None)
+    faults = FaultPlan.parse(plan_spec) if plan_spec else None
+    return policy, run_timeout, faults
+
+
+def _report_failures(results: ResultSet) -> None:
+    """Summarise a fault-tolerant batch's failures on stderr."""
+    if not results.failures:
+        return
+    print(
+        f"{len(results.failures)} run(s) failed "
+        f"({len(results)} survived):",
+        file=sys.stderr,
+    )
+    for failure in results.failures:
+        print(
+            f"  {failure.run_id}: [{failure.kind}] {failure.error}: "
+            f"{failure.message} ({failure.attempts} attempt(s))",
+            file=sys.stderr,
+        )
+
+
 def _run_batch(
-    requests, jobs: int, out: Optional[str], store_path: Optional[str] = None
+    requests,
+    jobs: int,
+    out: Optional[str],
+    store_path: Optional[str] = None,
+    on_error=None,
+    run_timeout: Optional[float] = None,
+    faults=None,
 ) -> ResultSet:
     if jobs < 0:
         raise ParameterValueError("--jobs must be >= 0 (0 = all available cores)")
@@ -368,12 +461,18 @@ def _run_batch(
 
     try:
         results = execute_requests(
-            requests, jobs=jobs, on_record=on_record, store=store
+            requests,
+            jobs=jobs,
+            on_record=on_record,
+            store=store,
+            on_error=on_error,
+            run_timeout=run_timeout,
+            faults=faults,
         )
         if store is not None:
             print(
                 f"store {store_path}: {hits[0]} cache hit(s), "
-                f"{len(results) - hits[0]} executed",
+                f"{len(results) + len(results.failures) - hits[0]} executed",
                 file=sys.stderr,
             )
     finally:
@@ -382,6 +481,7 @@ def _run_batch(
     if out is not None:
         results.save(out)
         print(f"exported {len(results)} run(s) to {out}", file=sys.stderr)
+    _report_failures(results)
     return results
 
 
@@ -420,8 +520,17 @@ def cmd_run(args) -> int:
         requests = [
             r for r in requests if not (r.run_id in seen or seen.add(r.run_id))
         ]
-    _run_batch(requests, args.jobs, args.out, store_path=args.store)
-    return 0
+    policy, run_timeout, faults = _fault_options(args)
+    results = _run_batch(
+        requests,
+        args.jobs,
+        args.out,
+        store_path=args.store,
+        on_error=policy,
+        run_timeout=run_timeout,
+        faults=faults,
+    )
+    return 4 if results.failures else 0
 
 
 def _build_study(spec: ScenarioSpec, args, aligned_seeds: bool = False) -> Study:
@@ -461,8 +570,17 @@ def cmd_sweep(args) -> int:
         + (" [resuming]" if args.resume else ""),
         file=sys.stderr,
     )
-    _run_batch(requests, args.jobs, args.out, store_path=args.store)
-    return 0
+    policy, run_timeout, faults = _fault_options(args)
+    results = _run_batch(
+        requests,
+        args.jobs,
+        args.out,
+        store_path=args.store,
+        on_error=policy,
+        run_timeout=run_timeout,
+        faults=faults,
+    )
+    return 4 if results.failures else 0
 
 
 def _parse_baseline(assignments: List[str]) -> Optional[Dict[str, str]]:
@@ -666,6 +784,16 @@ def main(argv=None) -> int:
         # died mid-flight on purpose; the store keeps what completed.
         print(error, file=sys.stderr)
         return 3
+    except KeyboardInterrupt:
+        # The runner's cleanup path has already terminated the worker
+        # pool; exit with the conventional SIGINT status.
+        print("interrupted", file=sys.stderr)
+        return 130
+    except (RunTimeoutError, WorkerCrashError) as error:
+        # A timed-out or worker-killing run under --on-error fail: the
+        # batch aborted; a store keeps everything completed before it.
+        print(error, file=sys.stderr)
+        return 1
     except (
         UnknownParameterError,
         ParameterValueError,

@@ -121,7 +121,9 @@ def export_records(records: Iterable, out_dir: str) -> List[str]:
     byte-for-byte and the manifest with ``timing`` removed (see
     ``tests/test_runner.py`` and the CI meshgen smoke job).
     """
-    records = list(records)
+    # Failure records (fault-tolerant sweeps) have no result payload to
+    # export and never enter the manifest; export_failures writes them.
+    records = [r for r in records if getattr(r, "failure", None) is None]
     targets = []
     timing = {"runs": {}}
     total_wall = 0.0
@@ -171,6 +173,38 @@ def export_records(records: Iterable, out_dir: str) -> List[str]:
     with open(os.path.join(out_dir, "EXPERIMENTS.md"), "w") as handle:
         handle.write("\n".join(sections).rstrip() + "\n")
     return targets
+
+
+def export_failures(failures: Iterable, out_dir: str) -> Optional[str]:
+    """Write a batch's failure records as ``<out>/failures.json``.
+
+    ``failures`` are :class:`~repro.experiments.runner.RunFailure`\\ s
+    (typed loosely, like :func:`export_records`). The file is
+    deterministic — records sorted by run id, wall seconds omitted (see
+    ``RunFailure.to_dict``) — so it is byte-identical at any ``--jobs``
+    count. With no failures, a stale ``failures.json`` from an earlier
+    partial sweep is *removed*: a resumed-then-completed export tree is
+    byte-identical to an uninterrupted one. Returns the file path, or
+    None when nothing was written.
+    """
+    path = os.path.join(out_dir, "failures.json")
+    failures = sorted(failures, key=lambda f: f.run_id)
+    if not failures:
+        try:
+            os.remove(path)
+        except FileNotFoundError:
+            pass
+        return None
+    os.makedirs(out_dir, exist_ok=True)
+    with open(path, "w") as handle:
+        json.dump(
+            {"failures": [failure.to_dict() for failure in failures]},
+            handle,
+            sort_keys=True,
+            indent=2,
+        )
+        handle.write("\n")
+    return path
 
 
 if __name__ == "__main__":

@@ -1,16 +1,30 @@
-"""Parallel scenario-sweep runner.
+"""Fault-tolerant parallel scenario-sweep runner.
 
 ``SweepRunner`` executes :class:`RunRequest` batches — single paper
 experiments, the whole catalogue, or cartesian parameter grids — either
-inline or fanned out over ``multiprocessing`` workers. Results come back
-in request order regardless of worker count, and every run's seed is
-derived from the request alone, so a parallel sweep is byte-identical to
-the same sweep run serially (``tests/test_runner.py`` locks this in).
+inline or fanned out over worker processes. Results come back in request
+order regardless of worker count, and every run's seed is derived from
+the request alone, so a parallel sweep is byte-identical to the same
+sweep run serially (``tests/test_runner.py`` locks this in).
 
-Design rules that keep the guarantee cheap:
+Execution is supervised: a worker raising, hanging past ``run_timeout``,
+or dying outright (segfault, OOM kill, ``os._exit``) is detected,
+attributed to the run that caused it, and handled per the
+:class:`ErrorPolicy` — abort the batch (``fail``, the default), record a
+typed :class:`RunFailure` and keep going (``continue``), or retry with
+capped exponential backoff first (``retry:N``). A run that crashes its
+worker while others share the pool is re-run alone in a one-worker
+quarantine lane so the poison run is identified exactly and innocent
+runs are never charged for its crash.
+
+Design rules that keep the determinism guarantee cheap:
 
 * a request is a pure function of (spec id, kwargs): workers share no
-  state and results are collected with order-preserving ``imap``;
+  state and records are always *released* in request order, whatever
+  order completions arrive in;
+* inline and pooled execution catch errors at the same stack depth
+  (:func:`_attempt`), so recorded failure tracebacks are byte-identical
+  at any ``--jobs`` count;
 * exported artefacts never contain wall-clock times or timestamps —
   timing is reported on stdout only;
 * worker processes re-resolve the entry point from the spec's
@@ -23,11 +37,16 @@ from __future__ import annotations
 import itertools
 import multiprocessing
 import os
+import pickle
 import time
-from dataclasses import dataclass
+import traceback as traceback_module
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import BrokenExecutor, CancelledError
+from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.experiments.common import ExperimentResult
+from repro.experiments.faults import FaultAction, FaultPlan
 from repro.experiments.specs import ScenarioSpec, get_spec
 
 
@@ -50,19 +69,140 @@ class RunRequest:
 
 
 @dataclass
+class RunFailure:
+    """One run's typed failure record.
+
+    ``kind`` classifies the failure mode: ``exception`` (the run
+    raised), ``timeout`` (it exceeded the per-run timeout and its worker
+    was killed), or ``worker-crash`` (the worker process died under it —
+    segfault, OOM kill, ``os._exit``). ``attempts`` counts executions
+    including retries. ``wall_s`` is in-memory bookkeeping only;
+    :meth:`to_dict` (the exported/stored form) omits it so failure
+    records stay deterministic at any ``--jobs`` count.
+    """
+
+    run_id: str
+    spec_id: str
+    kwargs: Dict[str, object] = field(default_factory=dict)
+    kind: str = "exception"
+    error: str = ""
+    message: str = ""
+    traceback: Optional[str] = None
+    attempts: int = 1
+    wall_s: float = 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        """The deterministic (timestamp- and timing-free) export form."""
+        return {
+            "run_id": self.run_id,
+            "spec_id": self.spec_id,
+            "kwargs": self.kwargs,
+            "kind": self.kind,
+            "error": self.error,
+            "message": self.message,
+            "traceback": self.traceback,
+            "attempts": self.attempts,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "RunFailure":
+        return cls(
+            run_id=data["run_id"],
+            spec_id=data["spec_id"],
+            kwargs=dict(data.get("kwargs", {})),
+            kind=data.get("kind", "exception"),
+            error=data.get("error", ""),
+            message=data.get("message", ""),
+            traceback=data.get("traceback"),
+            attempts=int(data.get("attempts", 1)),
+            wall_s=float(data.get("wall_s", 0.0)),
+        )
+
+
+@dataclass
 class RunRecord:
     """The outcome of one request.
 
     ``cached`` is True when the record came out of a
     :class:`~repro.results.store.ResultStore` instead of being executed
     (a checkpoint/dedupe hit); ``wall_s`` then reports the originally
-    measured wall seconds.
+    measured wall seconds. Under ``--on-error continue`` a failed run
+    yields a record with ``failure`` set and ``result`` None.
     """
 
     request: RunRequest
-    result: ExperimentResult
+    result: Optional[ExperimentResult]
     wall_s: float
     cached: bool = False
+    failure: Optional[RunFailure] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.failure is None
+
+
+@dataclass(frozen=True)
+class ErrorPolicy:
+    """What :meth:`SweepRunner.run` does when a run fails.
+
+    ``fail`` aborts the batch on the first failure (the error propagates
+    as itself — the historical behaviour and still the default).
+    ``continue`` records a :class:`RunFailure` and keeps going.
+    ``retries`` re-executes a failed run up to N extra times, sleeping
+    ``min(backoff_cap_s, backoff_base_s * 2**(attempt-1))`` between
+    attempts, before the mode applies; :meth:`parse` spells this
+    ``retry:N`` (retry, then record and continue).
+    """
+
+    mode: str = "fail"
+    retries: int = 0
+    backoff_base_s: float = 0.1
+    backoff_cap_s: float = 2.0
+
+    def __post_init__(self):
+        if self.mode not in ("fail", "continue"):
+            raise ValueError(f"error policy mode {self.mode!r}: expected "
+                             f"'fail' or 'continue'")
+        if self.retries < 0:
+            raise ValueError("error policy retries must be >= 0")
+
+    @classmethod
+    def parse(cls, spec: str) -> "ErrorPolicy":
+        """Parse the CLI spelling: ``fail`` | ``continue`` | ``retry:N``."""
+        text = (spec or "").strip()
+        if text == "fail":
+            return cls("fail")
+        if text == "continue":
+            return cls("continue")
+        if text.startswith("retry:"):
+            try:
+                retries = int(text[len("retry:"):])
+            except ValueError:
+                retries = 0
+            if retries < 1:
+                raise ValueError(
+                    f"error policy {spec!r}: retry:N needs a positive N"
+                )
+            return cls("continue", retries=retries)
+        raise ValueError(
+            f"error policy {spec!r}: expected 'fail', 'continue' or 'retry:N'"
+        )
+
+    def backoff_s(self, attempt: int) -> float:
+        """Sleep before re-executing after the ``attempt``-th failure."""
+        return min(self.backoff_cap_s, self.backoff_base_s * (2 ** (attempt - 1)))
+
+
+class RunTimeoutError(RuntimeError):
+    """A run exceeded the per-run timeout and its worker was killed."""
+
+
+class WorkerCrashError(RuntimeError):
+    """A worker process died (segfault, OOM kill, ``os._exit``)."""
+
+
+class WorkerRunError(RuntimeError):
+    """A worker's exception could not be pickled back; carries its text."""
 
 
 class InjectedSweepFault(RuntimeError):
@@ -73,7 +213,9 @@ class InjectedSweepFault(RuntimeError):
 #: :class:`InjectedSweepFault` right after the N-th *executed* (non-
 #: cached) run has been completed, reported and checkpointed — the CI
 #: ``resume-smoke`` job uses it to kill a sweep mid-flight
-#: deterministically and then resume it against the same store.
+#: deterministically and then resume it against the same store. It kills
+#: the whole sweep; to break individual runs instead, use a
+#: :class:`~repro.experiments.faults.FaultPlan`.
 FAULT_ENV = "REPRO_SWEEP_FAULT_AFTER"
 
 
@@ -196,32 +338,148 @@ def catalogue_requests(
 
 
 def execute_request(request: RunRequest) -> RunRecord:
-    """Run one request in this process (also the worker entry point)."""
+    """Run one request in this process (no supervision, errors propagate)."""
     spec = get_spec(request.spec_id)
     started = time.perf_counter()
     result = spec.run(**request.kwargs_dict)
     return RunRecord(request, result, time.perf_counter() - started)
 
 
+def _attempt(task: Tuple[RunRequest, Optional[FaultAction], int]):
+    """One supervised run attempt (also the pooled worker entry point).
+
+    Returns a plain payload tuple instead of raising, catching at one
+    fixed stack depth whether called inline or in a worker — which is
+    what makes recorded failure tracebacks byte-identical at any
+    ``--jobs`` count:
+
+    * ``("ok", result, wall_s)`` on success;
+    * ``("error", class_name, message, traceback_text, pickle_blob,
+      wall_s)`` when the run raised. ``pickle_blob`` is the exception
+      itself when it round-trips through pickle (so the ``fail`` policy
+      can re-raise the original), else None.
+    """
+    request, action, attempt = task
+    started = time.perf_counter()
+    try:
+        if action is not None:
+            action.trigger(request.run_id, attempt)
+        spec = get_spec(request.spec_id)
+        result = spec.run(**request.kwargs_dict)
+    except Exception as exc:
+        wall_s = time.perf_counter() - started
+        text = "".join(
+            traceback_module.format_exception(type(exc), exc, exc.__traceback__)
+        )
+        blob = None
+        try:
+            blob = pickle.dumps(exc)
+            pickle.loads(blob)
+        except Exception:
+            blob = None
+        return ("error", type(exc).__name__, str(exc), text, blob, wall_s)
+    return ("ok", result, time.perf_counter() - started)
+
+
+def _reraise_worker_error(error: str, message: str, tb: Optional[str], blob):
+    """Re-raise a worker-captured exception as itself where possible."""
+    if blob is not None:
+        try:
+            exc = pickle.loads(blob)
+        except Exception:  # pragma: no cover - defensive
+            exc = None
+        if isinstance(exc, BaseException):
+            raise exc
+    raise WorkerRunError(f"{error}: {message}\n{tb or ''}".rstrip())
+
+
+class _Fatal:
+    """A failure parked until the release cursor reaches it (fail mode).
+
+    Failures can complete out of request order under pooled execution;
+    the ``fail`` policy still raises at the failed run's *position* in
+    the batch — the same place the old order-preserving ``imap`` loop
+    raised — so earlier runs release normally first.
+    """
+
+    __slots__ = ("kind", "error", "message", "traceback", "blob", "run_id")
+
+    def __init__(self, kind, error, message, tb, blob, run_id):
+        self.kind = kind
+        self.error = error
+        self.message = message
+        self.traceback = tb
+        self.blob = blob
+        self.run_id = run_id
+
+    def reraise(self):
+        if self.kind == "timeout":
+            raise RunTimeoutError(f"run {self.run_id!r}: {self.message}")
+        if self.kind == "worker-crash":
+            raise WorkerCrashError(f"run {self.run_id!r}: {self.message}")
+        _reraise_worker_error(self.error, self.message, self.traceback, self.blob)
+
+
+class _TaskState:
+    """Supervisor-side bookkeeping for one pending request."""
+
+    __slots__ = ("attempt", "action", "started", "timed_out")
+
+    def __init__(self, action: Optional[FaultAction]):
+        self.attempt = 1
+        self.action = action
+        self.started: Optional[float] = None  # monotonic, first seen running
+        self.timed_out = False  # we killed its lane on purpose
+
+
+class _Lane:
+    """One executor plus the futures currently living in it."""
+
+    __slots__ = ("executor", "workers", "tasks")
+
+    def __init__(self, executor: ProcessPoolExecutor, workers: int):
+        self.executor = executor
+        self.workers = workers
+        # future -> pending index; insertion order is submission order,
+        # which is the order the executor dispatches tasks to workers.
+        self.tasks: Dict[object, int] = {}
+
+
+#: Supervisor poll granularity (seconds): an upper bound on how long a
+#: completion, crash or timeout goes unnoticed, not a scheduling unit —
+#: ``wait`` returns the moment a future resolves.
+_POLL_S = 0.05
+
+
 class SweepRunner:
     """Fan a batch of requests out over processes, deterministically.
 
-    ``jobs=1`` runs inline (no pool, no pickling); ``jobs>1`` uses a
-    ``multiprocessing`` pool with order-preserving ``imap`` so records
-    always come back in request order. ``on_record`` (if given) fires in
-    that same order as results arrive — progress reporting stays
-    deterministic too.
+    ``jobs=1`` runs inline (no pool, no pickling) unless supervision
+    needs a separate process (a ``run_timeout``, or a fault plan that
+    can crash the worker); ``jobs>1`` uses a supervised
+    ``ProcessPoolExecutor`` dispatch loop. Completions may arrive in any
+    order, but records are *released* — and ``on_record`` fired — in
+    request order, so progress reporting and exports stay deterministic.
 
-    The pool is created on first parallel use and *reused* across
+    The executor is created on first parallel use and *reused* across
     ``run()`` calls, so a driver issuing several sweeps (the benchmark
     suite, test batteries, future schedulers) pays process spin-up once
-    instead of per batch. Requests are handed out in chunks sized to the
-    batch (order-preserving ``imap`` with ``chunksize > 1``), which cuts
-    per-task IPC for large grids; chunking affects scheduling only —
-    every record is still a pure function of its request, so exports
-    remain byte-identical whatever the worker count or chunk size.
-    Close the runner (context manager or :meth:`close`) to release the
-    workers; a garbage-collected runner terminates them as a fallback.
+    instead of per batch. Workers spawn lazily up to ``jobs``, so small
+    batches never fork processes that would sit idle. Close the runner
+    (context manager or :meth:`close`) to release the workers; a
+    garbage-collected runner terminates them as a fallback.
+
+    Supervision: a worker death breaks the whole executor
+    (``BrokenProcessPool``), so the supervisor rebuilds it and sorts the
+    in-flight runs — when exactly one was running, that run is charged
+    with the crash; when several were (the ambiguous case), each suspect
+    re-runs alone in a one-worker *quarantine lane*, where sole
+    occupancy attributes the next crash exactly. Queued, never-started
+    runs are resubmitted without being charged. ``run_timeout`` is
+    enforced the same way: the overdue run's lane is killed deliberately
+    and only the overdue run is charged; timed-out and crashing runs
+    retry in the quarantine lane so they cannot take the main pool down
+    repeatedly.
     """
 
     def __init__(self, jobs: int = 1, mp_context: Optional[str] = None):
@@ -229,8 +487,7 @@ class SweepRunner:
             raise ValueError("jobs must be >= 1")
         self.jobs = jobs
         self.mp_context = mp_context
-        self._pool = None
-        self._pool_workers = 0
+        self._executor: Optional[ProcessPoolExecutor] = None
 
     def __enter__(self) -> "SweepRunner":
         return self
@@ -247,56 +504,385 @@ class SweepRunner:
         except BaseException:
             pass
 
+    @staticmethod
+    def _kill_workers(executor) -> None:
+        """Terminate an executor's worker processes (never raises)."""
+        processes = getattr(executor, "_processes", None) or {}
+        for process in list(processes.values()):
+            try:
+                process.terminate()
+            except Exception:  # pragma: no cover - already dead / shutdown
+                pass
+
     def close(self) -> None:
         """Terminate the persistent worker pool (idempotent).
 
         Safe to call from ``__del__`` at interpreter shutdown: a runner
-        collected that late may find ``multiprocessing``'s module
+        collected that late may find the executor machinery's module
         globals already set to ``None``, which surfaces as
-        ``AttributeError``/``TypeError`` from ``terminate``/``join`` —
-        the pool is dropped regardless and the OS reaps the workers.
+        ``AttributeError``/``TypeError`` from ``shutdown`` — the
+        executor is dropped regardless and the OS reaps the workers.
         """
-        pool = getattr(self, "_pool", None)
-        self._pool = None
-        self._pool_workers = 0
-        if pool is None:
+        executor = getattr(self, "_executor", None)
+        self._executor = None
+        if executor is None:
             return
         try:
-            pool.terminate()
-            pool.join()
+            self._kill_workers(executor)
+            executor.shutdown(wait=False, cancel_futures=True)
         except (AttributeError, TypeError):  # pragma: no cover - shutdown races
             pass
 
-    def _ensure_pool(self, needed: int):
-        """The persistent pool, sized to the demand actually seen.
+    def _make_executor(self, workers: int) -> ProcessPoolExecutor:
+        context = multiprocessing.get_context(self.mp_context)
+        return ProcessPoolExecutor(max_workers=workers, mp_context=context)
 
-        The first parallel batch sizes the pool to min(jobs, batch);
-        a later, larger batch grows it once to the full ``jobs`` —
-        small sweeps never fork workers that would sit idle.
+    def _ensure_executor(self) -> ProcessPoolExecutor:
+        """The persistent main-lane executor (workers spawn on demand)."""
+        if self._executor is None:
+            self._executor = self._make_executor(self.jobs)
+        return self._executor
+
+    def _discard_executor(self) -> None:
+        executor = self._executor
+        self._executor = None
+        if executor is not None:
+            try:
+                executor.shutdown(wait=False, cancel_futures=True)
+            except Exception:  # pragma: no cover - already broken
+                pass
+
+    # -- execution paths ----------------------------------------------
+
+    def _direct_outcomes(self, pending, actions, checkpoint):
+        """The legacy inline path: no supervision, errors propagate raw.
+
+        Taken for ``fail``-with-no-retries at ``jobs=1`` so a raising
+        experiment keeps its genuine traceback (the "errors propagate as
+        themselves" CLI contract), exactly as before this layer existed.
         """
-        workers = min(self.jobs, needed)
-        if self._pool is not None and self._pool_workers < workers:
-            self.close()
-        if self._pool is None:
-            context = multiprocessing.get_context(self.mp_context)
-            self._pool_workers = max(workers, 1)
-            self._pool = context.Pool(processes=self._pool_workers)
-        return self._pool
+        for request, action in zip(pending, actions):
+            started = time.perf_counter()
+            if action is not None:
+                action.trigger(request.run_id, 1)
+            spec = get_spec(request.spec_id)
+            result = spec.run(**request.kwargs_dict)
+            record = RunRecord(request, result, time.perf_counter() - started)
+            checkpoint(request, record)
+            yield record
+
+    def _serial_outcomes(self, pending, actions, policy, checkpoint):
+        """Inline execution with failure isolation and retries."""
+        for index, request in enumerate(pending):
+            attempt = 1
+            while True:
+                payload = _attempt((request, actions[index], attempt))
+                if payload[0] == "ok":
+                    outcome = RunRecord(request, payload[1], payload[2])
+                    break
+                _, error, message, tb, blob, wall_s = payload
+                if attempt <= policy.retries:
+                    delay = policy.backoff_s(attempt)
+                    if delay > 0:
+                        time.sleep(delay)
+                    attempt += 1
+                    continue
+                if policy.mode == "fail":
+                    _reraise_worker_error(error, message, tb, blob)
+                outcome = RunFailure(
+                    run_id=request.run_id,
+                    spec_id=request.spec_id,
+                    kwargs=request.kwargs_dict,
+                    kind="exception",
+                    error=error,
+                    message=message,
+                    traceback=tb,
+                    attempts=attempt,
+                    wall_s=wall_s,
+                )
+                break
+            checkpoint(request, outcome)
+            yield outcome
+
+    def _supervised_outcomes(self, pending, actions, policy, run_timeout, checkpoint):
+        """Pooled execution under supervision; yields outcomes in order.
+
+        Outcomes (``RunRecord`` or ``RunFailure``) are buffered as
+        completions arrive and yielded strictly in ``pending`` order;
+        checkpointing happens at completion time so a kill loses at most
+        the in-flight runs. The ``finally`` block tears down in-flight
+        work when the generator exits early (an error released to the
+        caller, ``KeyboardInterrupt``, or the caller closing us), so no
+        worker is left computing a discarded run.
+        """
+        n = len(pending)
+        states = [_TaskState(action) for action in actions]
+        ready: Dict[int, object] = {}  # index -> RunRecord | RunFailure | _Fatal
+        backlog: List[Tuple[float, int, str]] = []  # (due, index, lane name)
+        lanes: Dict[str, _Lane] = {}
+        completed = False
+
+        def settle(index, payload):
+            request = pending[index]
+            if payload[0] == "ok":
+                record = RunRecord(request, payload[1], payload[2])
+                checkpoint(request, record)
+                ready[index] = record
+            else:
+                _, error, message, tb, blob, wall_s = payload
+                charge(index, "exception", error, message, tb, blob, wall_s)
+
+        def charge(index, kind, error, message, tb, blob, wall_s):
+            state = states[index]
+            if state.attempt <= policy.retries:
+                delay = policy.backoff_s(state.attempt)
+                state.attempt += 1
+                # Exception retries go back to the main lane; timeout and
+                # crash retries run quarantined so a persistently poison
+                # run cannot keep taking the shared pool down.
+                lane_name = "main" if kind == "exception" else "quarantine"
+                backlog.append((time.monotonic() + delay, index, lane_name))
+                return
+            request = pending[index]
+            if policy.mode == "fail":
+                ready[index] = _Fatal(kind, error, message, tb, blob, request.run_id)
+                return
+            failure = RunFailure(
+                run_id=request.run_id,
+                spec_id=request.spec_id,
+                kwargs=request.kwargs_dict,
+                kind=kind,
+                error=error,
+                message=message,
+                traceback=tb,
+                attempts=state.attempt,
+                wall_s=wall_s or 0.0,
+            )
+            checkpoint(request, failure)
+            ready[index] = failure
+
+        def handle_break(lane_name):
+            lane = lanes.pop(lane_name, None)
+            if lane is None:  # pragma: no cover - already handled
+                return
+            if lane.executor is self._executor:
+                self._executor = None
+            # Give the executor's manager thread a moment to resolve
+            # every pending future, then harvest results that landed
+            # before the break — they are genuine completions.
+            wait(list(lane.tasks), timeout=5.0)
+            try:
+                lane.executor.shutdown(wait=False, cancel_futures=True)
+            except Exception:  # pragma: no cover - already torn down
+                pass
+            crashed: List[int] = []  # submission order
+            for future, index in list(lane.tasks.items()):
+                try:
+                    payload = future.result(timeout=0)
+                except BaseException:
+                    crashed.append(index)
+                else:
+                    settle(index, payload)
+            lane.tasks.clear()
+            now = time.monotonic()
+            deliberate = any(states[i].timed_out for i in crashed)
+            if deliberate:
+                # We killed this lane to enforce run_timeout: charge the
+                # overdue run(s); co-running and queued runs are innocent
+                # and simply resubmit.
+                for index in crashed:
+                    state = states[index]
+                    if state.timed_out:
+                        state.timed_out = False
+                        charge(
+                            index,
+                            "timeout",
+                            "RunTimeoutError",
+                            f"run exceeded the per-run timeout "
+                            f"({run_timeout:g} s)",
+                            None,
+                            None,
+                            run_timeout or 0.0,
+                        )
+                    else:
+                        backlog.append((0.0, index, lane_name))
+                return
+            suspects = [i for i in crashed if states[i].started is not None]
+            if not suspects and crashed:
+                # A fast crash can break the pool before any poll ever
+                # observes the run in flight. The executor dispatches
+                # submissions FIFO, so the earliest-submitted unfinished
+                # task(s) — at most one per worker — were the ones a
+                # worker had picked up.
+                suspects = crashed[: lane.workers]
+            queued = [i for i in crashed if i not in suspects]
+            if len(suspects) == 1:
+                index = suspects[0]
+                wall_s = now - (states[index].started or now)
+                charge(
+                    index,
+                    "worker-crash",
+                    "WorkerCrashError",
+                    "worker process died (segfault, OOM kill, or os._exit)",
+                    None,
+                    None,
+                    wall_s,
+                )
+            else:
+                # Ambiguous: several runs were in flight when the pool
+                # broke. Re-run each alone in the quarantine lane, where
+                # sole occupancy attributes the next crash exactly —
+                # innocents complete there without ever being charged.
+                for index in suspects:
+                    backlog.append((0.0, index, "quarantine"))
+            for index in queued:
+                backlog.append((0.0, index, lane_name))
+
+        def submit(lane_name, index):
+            for _ in range(2):
+                lane = lanes.get(lane_name)
+                if lane is None:
+                    if lane_name == "main":
+                        lane = _Lane(self._ensure_executor(), self.jobs)
+                    else:
+                        lane = _Lane(self._make_executor(1), 1)
+                    lanes[lane_name] = lane
+                state = states[index]
+                state.started = None
+                state.timed_out = False
+                try:
+                    future = lane.executor.submit(
+                        _attempt, (pending[index], state.action, state.attempt)
+                    )
+                except BrokenExecutor:
+                    # A worker died while idle; rebuild the lane once.
+                    handle_break(lane_name)
+                    continue
+                lane.tasks[future] = index
+                return
+            raise WorkerCrashError(  # pragma: no cover - two breaks in a row
+                "worker pool repeatedly broken on submit"
+            )
+
+        next_index = 0
+        try:
+            for index in range(n):
+                submit("main", index)
+            while next_index < n:
+                while next_index in ready:
+                    outcome = ready.pop(next_index)
+                    if isinstance(outcome, _Fatal):
+                        outcome.reraise()
+                    next_index += 1
+                    yield outcome
+                if next_index >= n:
+                    break
+                now = time.monotonic()
+                due = [entry for entry in backlog if entry[0] <= now]
+                if due:
+                    backlog[:] = [e for e in backlog if e[0] > now]
+                    for _, index, lane_name in sorted(due, key=lambda e: e[1]):
+                        submit(lane_name, index)
+                futures = [f for lane in lanes.values() for f in lane.tasks]
+                if not futures:
+                    if backlog:
+                        next_due = min(entry[0] for entry in backlog)
+                        time.sleep(min(_POLL_S, max(0.0, next_due - now)))
+                        continue
+                    if ready:
+                        continue
+                    raise RuntimeError(  # pragma: no cover - invariant
+                        "sweep supervisor stalled with no work in flight"
+                    )
+                done, _ = wait(futures, timeout=_POLL_S, return_when=FIRST_COMPLETED)
+                now = time.monotonic()
+                for lane in lanes.values():
+                    # The executor dispatches FIFO, so the earliest
+                    # unfinished submissions — at most one per worker —
+                    # are the runs actually on a worker right now. (A
+                    # future's own running() flag over-reports: it flips
+                    # as soon as the task enters the call queue.)
+                    in_flight = [f for f in lane.tasks if not f.done()]
+                    for future in in_flight[: lane.workers]:
+                        state = states[lane.tasks[future]]
+                        if state.started is None:
+                            state.started = now
+                broken: List[str] = []
+                for lane_name in list(lanes):
+                    lane = lanes.get(lane_name)
+                    if lane is None:
+                        continue
+                    for future in [f for f in done if f in lane.tasks]:
+                        try:
+                            payload = future.result()
+                        except (BrokenExecutor, CancelledError, OSError):
+                            broken.append(lane_name)
+                            break
+                        index = lane.tasks.pop(future)
+                        settle(index, payload)
+                for lane_name in broken:
+                    handle_break(lane_name)
+                if run_timeout is not None:
+                    now = time.monotonic()
+                    for lane_name, lane in list(lanes.items()):
+                        overdue = [
+                            index
+                            for index in lane.tasks.values()
+                            if states[index].started is not None
+                            and not states[index].timed_out
+                            and now - states[index].started > run_timeout
+                        ]
+                        if overdue:
+                            for index in overdue:
+                                states[index].timed_out = True
+                            # Killing the lane breaks it; the next loop
+                            # iteration routes it through handle_break,
+                            # which charges only the overdue run(s).
+                            self._kill_workers(lane.executor)
+            completed = True
+        finally:
+            quarantine = lanes.pop("quarantine", None)
+            if quarantine is not None:
+                if not completed:
+                    self._kill_workers(quarantine.executor)
+                try:
+                    quarantine.executor.shutdown(
+                        wait=completed, cancel_futures=True
+                    )
+                except Exception:  # pragma: no cover - already torn down
+                    pass
+            if not completed:
+                main = lanes.pop("main", None)
+                if main is not None:
+                    if main.executor is self._executor:
+                        self._executor = None
+                    self._kill_workers(main.executor)
+                    try:
+                        main.executor.shutdown(wait=False, cancel_futures=True)
+                    except Exception:  # pragma: no cover - already torn down
+                        pass
 
     @staticmethod
-    def _chunksize(requests: int, workers: int) -> int:
-        """Batch tasks per IPC round trip, keeping every worker busy.
+    def _checkpoint(store) -> Callable[[RunRequest, object], None]:
+        if store is None:
+            return lambda request, outcome: None
 
-        Aim for ~4 chunks per worker so stragglers still rebalance;
-        chunking never affects results, only scheduling.
-        """
-        return max(1, requests // (workers * 4))
+        def checkpoint(request, outcome):
+            if isinstance(outcome, RunFailure):
+                store.put_failure(request, outcome)
+            else:
+                store.put(outcome)
+
+        return checkpoint
 
     def run(
         self,
         requests: Sequence[RunRequest],
         on_record: Optional[Callable[[RunRecord], None]] = None,
         store=None,
+        policy: Optional[object] = None,
+        run_timeout: Optional[float] = None,
+        faults: Optional[FaultPlan] = None,
     ) -> List[RunRecord]:
         """Execute ``requests`` and return their records, in request order.
 
@@ -309,44 +895,95 @@ class SweepRunner:
         restarting, with artefacts byte-identical to an uninterrupted
         run (runs are pure functions of their requests). ``on_record``
         still fires in request order, for hits and fresh runs alike.
+
+        ``policy`` (an :class:`ErrorPolicy` or its string spelling)
+        governs failures; failed runs under ``continue`` come back as
+        records with ``record.failure`` set and are checkpointed into
+        the store as failure records, so a resume retries exactly the
+        failed/missing runs. ``run_timeout`` kills any single run
+        exceeding that many wall seconds (forces pooled execution even
+        at ``jobs=1``). ``faults`` injects a deterministic
+        :class:`~repro.experiments.faults.FaultPlan` (default: the
+        :data:`~repro.experiments.faults.FAULT_PLAN_ENV` env var).
         """
+        if isinstance(policy, str):
+            policy = ErrorPolicy.parse(policy)
+        if policy is None:
+            policy = ErrorPolicy()
+        if run_timeout is not None and run_timeout <= 0:
+            raise ValueError("run_timeout must be positive")
+        if faults is None:
+            faults = FaultPlan.from_env()
         run_ids = [r.run_id for r in requests]
         if len(set(run_ids)) != len(run_ids):
-            raise ValueError("duplicate run ids in batch")
+            seen, dupes = set(), []
+            for run_id in run_ids:
+                if run_id in seen and run_id not in dupes:
+                    dupes.append(run_id)
+                seen.add(run_id)
+            raise ValueError(
+                "duplicate run ids in batch: " + ", ".join(sorted(dupes))
+            )
         fault_after = int(os.environ.get(FAULT_ENV, "0") or 0)
         cached: Dict[str, RunRecord] = {}
-        pending: List[RunRequest] = list(requests)
-        if store is not None:
-            pending = []
-            for request in requests:
-                hit = store.get(request)
-                if hit is not None:
-                    cached[request.run_id] = hit
-                else:
-                    pending.append(request)
-        if self.jobs == 1 or len(pending) <= 1:
-            fresh = (execute_request(request) for request in pending)
+        pending: List[RunRequest] = []
+        actions: List[Optional[FaultAction]] = []
+        for index, request in enumerate(requests):
+            hit = store.get(request) if store is not None else None
+            if hit is not None:
+                cached[request.run_id] = hit
+            else:
+                pending.append(request)
+                actions.append(
+                    faults.action_for(request.run_id, index) if faults else None
+                )
+        checkpoint = self._checkpoint(store)
+        needs_worker = run_timeout is not None or any(
+            action is not None and action.kind == "crash" for action in actions
+        )
+        if not pending:
+            outcomes = iter(())
+        elif (self.jobs == 1 or len(pending) <= 1) and not needs_worker:
+            if policy.mode == "fail" and policy.retries == 0:
+                outcomes = self._direct_outcomes(pending, actions, checkpoint)
+            else:
+                outcomes = self._serial_outcomes(
+                    pending, actions, policy, checkpoint
+                )
         else:
-            pool = self._ensure_pool(len(pending))
-            chunksize = self._chunksize(len(pending), self._pool_workers)
-            fresh = pool.imap(execute_request, pending, chunksize=chunksize)
+            outcomes = self._supervised_outcomes(
+                pending, actions, policy, run_timeout, checkpoint
+            )
         records: List[RunRecord] = []
         executed = 0
-        for request in requests:
-            record = cached.get(request.run_id)
-            if record is None:
-                record = next(fresh)
-                if store is not None:
-                    store.put(record)
-                executed += 1
-            if on_record is not None:
-                on_record(record)
-            records.append(record)
-            if not record.cached and fault_after and executed >= fault_after:
-                raise InjectedSweepFault(
-                    f"injected fault after {executed} executed run(s) "
-                    f"({FAULT_ENV}={fault_after})"
-                )
+        try:
+            for request in requests:
+                record = cached.get(request.run_id)
+                if record is None:
+                    outcome = next(outcomes)
+                    if isinstance(outcome, RunFailure):
+                        record = RunRecord(
+                            request, None, outcome.wall_s, failure=outcome
+                        )
+                    else:
+                        record = outcome
+                    executed += 1
+                if on_record is not None:
+                    on_record(record)
+                records.append(record)
+                if not record.cached and fault_after and executed >= fault_after:
+                    raise InjectedSweepFault(
+                        f"injected fault after {executed} executed run(s) "
+                        f"({FAULT_ENV}={fault_after})"
+                    )
+        except BaseException:
+            # Error path (including KeyboardInterrupt and the legacy
+            # injected kill hook): terminate the in-flight batch so no
+            # worker is left computing runs nobody will collect.
+            close = getattr(outcomes, "close", None)
+            if close is not None:
+                close()
+            raise
         if store is not None:
             store.finalize(records)
         return records

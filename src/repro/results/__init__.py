@@ -23,6 +23,12 @@ lives here (see EXPERIMENTS.md, "Programmatic API"):
   seed)``: sweeps checkpoint into a store as runs finish, resume after
   a kill, and dedupe identical requests into cache hits
   (``Study(...).run(store=...)``, the CLI's ``--store``/``--resume``).
+* :class:`ErrorPolicy` / :class:`RunFailure` / :class:`FaultPlan` —
+  fault-tolerant sweep execution: per-run failure isolation with
+  retries and timeouts (``Study(...).run(on_error="continue")``, the
+  CLI's ``--on-error``/``--run-timeout``), typed failure records that
+  checkpoint into stores and surface on ``ResultSet.failures``, and the
+  deterministic chaos harness that tests all of it.
 * :func:`validate_fidelity` / :class:`Tolerance` — engine-tier
   agreement reports pairing ``fidelity=event`` runs with their
   ``fidelity=slotted`` twins (the ``validate-fidelity`` CLI subcommand
@@ -32,7 +38,15 @@ The CLI (``python -m repro.experiments``) and the benchmark suite are
 built on this layer.
 """
 
-from repro.results.compare import ComparisonError, compare, default_metrics, render_compare
+from repro.experiments.faults import FaultPlan
+from repro.experiments.runner import ErrorPolicy, RunFailure
+from repro.results.compare import (
+    ComparisonError,
+    IncompleteSweepWarning,
+    compare,
+    default_metrics,
+    render_compare,
+)
 from repro.results.validation import (
     DEFAULT_TOLERANCES,
     Tolerance,
@@ -65,8 +79,12 @@ from repro.results.types import (
 __all__ = [
     "ComparisonError",
     "DirectoryStore",
+    "ErrorPolicy",
+    "FaultPlan",
+    "IncompleteSweepWarning",
     "ResultLoadError",
     "ResultStore",
+    "RunFailure",
     "SqliteStore",
     "content_key",
     "open_store",

@@ -15,6 +15,7 @@ sweep's ``--out`` export (the CI ``compare-smoke`` job pins this).
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.experiments.common import Table
@@ -24,6 +25,17 @@ from repro.results.types import ResultSet, RunResult, _param_matches
 
 class ComparisonError(ValueError):
     """The result set cannot be arranged into a comparison table."""
+
+
+class IncompleteSweepWarning(UserWarning):
+    """The compared result set is missing runs that failed in its sweep.
+
+    Emitted by :func:`compare` when the set carries
+    :class:`~repro.experiments.runner.RunFailure` records: the table is
+    still built over the surviving runs, but groups that lost their
+    baseline or a variant silently drop out, so deltas may not mean
+    what a complete sweep's would.
+    """
 
 
 def _variant_of(run: RunResult, vary: Sequence[str]) -> Tuple[str, ...]:
@@ -77,6 +89,15 @@ def compare(
     distinguishing axis to ``align``. Groups without a baseline run
     are skipped.
     """
+    failures = getattr(results, "failures", ())
+    if failures:
+        warnings.warn(
+            f"comparing an incomplete sweep: {len(failures)} run(s) failed "
+            f"({', '.join(sorted(f.run_id for f in failures))}); deltas "
+            f"cover the surviving runs only",
+            IncompleteSweepWarning,
+            stacklevel=2,
+        )
     if not len(results):
         raise ComparisonError("empty result set")
     baseline = dict(DEFAULT_BASELINE if baseline is None else baseline)

@@ -124,6 +124,21 @@ class ResultStore:
         """Checkpoint one completed run; returns its content key."""
         raise NotImplementedError
 
+    def put_failure(self, request, failure) -> str:
+        """Checkpoint one run's :class:`RunFailure`; returns its content key.
+
+        A failure record is *not* a cached result — :meth:`get` keeps
+        missing for that request, so a resume re-executes exactly the
+        failed (and never-ran) runs while cache hits are still served
+        first. A later successful :meth:`put` for the same content key
+        supersedes the failure record.
+        """
+        raise NotImplementedError
+
+    def failures(self) -> List["RunFailure"]:
+        """Every stored failure record, sorted by run id."""
+        raise NotImplementedError
+
     def get(self, request):
         """The cached record for this request, or ``None``.
 
@@ -188,7 +203,7 @@ class ResultStore:
             ):
                 continue
             runs.append(self._entry_run(entry))
-        return ResultSet(runs)
+        return ResultSet(runs, failures=tuple(self.failures()))
 
     def _entry_run(self, entry: Dict[str, object]) -> RunResult:
         key = entry["content_key"]
@@ -222,7 +237,13 @@ class ResultStore:
                     json.dumps(result.to_dict(), sort_keys=True, default=list)
                 ),
             }
-        return {"runs": runs}
+        failures = {
+            failure.run_id: json.loads(
+                json.dumps(failure.to_dict(), sort_keys=True, default=list)
+            )
+            for failure in self.failures()
+        }
+        return {"runs": runs, "failures": failures}
 
     def digest(self) -> str:
         """sha256 over :meth:`canonical_dump` (cheap equality check)."""
@@ -254,20 +275,24 @@ class DirectoryStore(ResultStore):
     def _sidecar_path(self) -> str:
         return os.path.join(self.path, CHECKPOINT_SIDECAR)
 
-    def _load_sidecar(self) -> Dict[str, Dict[str, object]]:
+    def _load_sidecar(self) -> Dict[str, Dict[str, Dict[str, object]]]:
         try:
             with open(self._sidecar_path) as handle:
-                return json.load(handle)["runs"]
+                data = json.load(handle)
+            return {
+                "runs": dict(data.get("runs", {})),
+                "failures": dict(data.get("failures", {})),
+            }
         except FileNotFoundError:
-            return {}
-        except (json.JSONDecodeError, KeyError):
+            return {"runs": {}, "failures": {}}
+        except (json.JSONDecodeError, AttributeError):
             # A torn sidecar write: every checkpoint it indexed is
             # unreachable and simply re-runs.
-            return {}
+            return {"runs": {}, "failures": {}}
 
     def _entries(self) -> Dict[str, Dict[str, object]]:
         """content key -> identity entry, from sidecar and/or manifest."""
-        entries = dict(self._load_sidecar())
+        entries = dict(self._load_sidecar()["runs"])
         manifest_path = os.path.join(self.path, "manifest.json")
         if os.path.isfile(manifest_path):
             try:
@@ -289,10 +314,12 @@ class DirectoryStore(ResultStore):
                 )
         return entries
 
-    def _write_sidecar(self, entries: Dict[str, Dict[str, object]]) -> None:
+    def _write_sidecar(
+        self, data: Dict[str, Dict[str, Dict[str, object]]]
+    ) -> None:
         tmp = self._sidecar_path + ".tmp"
         with open(tmp, "w") as handle:
-            json.dump({"runs": entries}, handle, sort_keys=True, default=list)
+            json.dump(data, handle, sort_keys=True, default=list)
             handle.write("\n")
         os.replace(tmp, self._sidecar_path)
 
@@ -305,15 +332,33 @@ class DirectoryStore(ResultStore):
         export_result(record.result, self.path, record.request.run_id)
         # Sidecar last: a kill between the two writes leaves the run dir
         # unindexed, so resume re-runs (and byte-identically rewrites) it.
-        entries = self._load_sidecar()
-        entries[key] = {
+        sidecar = self._load_sidecar()
+        sidecar["runs"][key] = {
             "run_id": record.request.run_id,
             "spec_id": record.request.spec_id,
             "kwargs": record.request.kwargs_dict,
             "wall_s": record.wall_s,
         }
-        self._write_sidecar(entries)
+        # A success supersedes any earlier failure record (retried resume).
+        sidecar["failures"].pop(key, None)
+        self._write_sidecar(sidecar)
         return key
+
+    def put_failure(self, request, failure) -> str:
+        key = request_key(request)
+        sidecar = self._load_sidecar()
+        # to_dict() is the deterministic form; wall seconds ride along in
+        # the sidecar only (never exported).
+        sidecar["failures"][key] = dict(failure.to_dict(), wall_s=failure.wall_s)
+        self._write_sidecar(sidecar)
+        return key
+
+    def failures(self) -> List["RunFailure"]:
+        from repro.experiments.runner import RunFailure
+
+        entries = self._load_sidecar()["failures"]
+        records = [RunFailure.from_dict(entry) for entry in entries.values()]
+        return sorted(records, key=lambda f: f.run_id)
 
     def get(self, request):
         from repro.experiments.runner import RunRecord
@@ -368,10 +413,25 @@ class DirectoryStore(ResultStore):
         ).result
 
     def finalize(self, records) -> None:
-        """Write manifest + index for the completed batch, drop the sidecar."""
-        from repro.experiments.export import export_records
+        """Write manifest + index for the completed batch, drop the sidecar.
 
-        export_records(list(records), self.path)
+        With failures present, ``failures.json`` is written alongside the
+        manifest and the sidecar is *kept* — it carries the failure
+        records' identity keys, and a tree with failed runs is still
+        in flight until a resume turns them into runs. A fully successful
+        batch removes both, leaving the tree byte-identical to an
+        uninterrupted export.
+        """
+        from repro.experiments.export import export_failures, export_records
+
+        export_records(
+            [r for r in records if getattr(r, "failure", None) is None],
+            self.path,
+        )
+        failures = self.failures()
+        export_failures(failures, self.path)
+        if failures:
+            return
         try:
             os.remove(self._sidecar_path)
         except FileNotFoundError:
@@ -438,6 +498,22 @@ class SqliteStore(ResultStore):
                 "CREATE INDEX IF NOT EXISTS scalars_by_name ON scalars(name, num)"
             )
             self._conn.execute(
+                """
+                CREATE TABLE IF NOT EXISTS failures(
+                    content_key TEXT PRIMARY KEY,
+                    run_id TEXT NOT NULL,
+                    spec_id TEXT NOT NULL,
+                    kwargs TEXT NOT NULL,
+                    kind TEXT NOT NULL,
+                    error TEXT NOT NULL,
+                    message TEXT NOT NULL,
+                    traceback TEXT,
+                    attempts INTEGER NOT NULL,
+                    wall_s REAL NOT NULL
+                )
+                """
+            )
+            self._conn.execute(
                 "INSERT OR IGNORE INTO meta(key, value) VALUES('schema', ?)",
                 (str(SQLITE_SCHEMA),),
             )
@@ -495,7 +571,54 @@ class SqliteStore(ResultStore):
                         for name, value in scalars.items()
                     ],
                 )
+            # A success supersedes any earlier failure record.
+            self._conn.execute("DELETE FROM failures WHERE content_key=?", (key,))
         return key
+
+    def put_failure(self, request, failure) -> str:
+        key = request_key(request)
+        with self._conn:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO failures"
+                "(content_key, run_id, spec_id, kwargs, kind, error, message,"
+                " traceback, attempts, wall_s)"
+                " VALUES(?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    key,
+                    failure.run_id,
+                    failure.spec_id,
+                    _params_json(failure.kwargs),
+                    failure.kind,
+                    failure.error,
+                    failure.message,
+                    failure.traceback,
+                    int(failure.attempts),
+                    float(failure.wall_s),
+                ),
+            )
+        return key
+
+    def failures(self) -> List["RunFailure"]:
+        from repro.experiments.runner import RunFailure
+
+        rows = self._conn.execute(
+            "SELECT run_id, spec_id, kwargs, kind, error, message, traceback,"
+            " attempts, wall_s FROM failures ORDER BY run_id"
+        )
+        return [
+            RunFailure(
+                run_id=row[0],
+                spec_id=row[1],
+                kwargs=_restore_params(json.loads(row[2])),
+                kind=row[3],
+                error=row[4],
+                message=row[5],
+                traceback=row[6],
+                attempts=int(row[7]),
+                wall_s=float(row[8]),
+            )
+            for row in rows
+        ]
 
     def get(self, request):
         from repro.experiments.runner import RunRecord

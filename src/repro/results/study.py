@@ -163,6 +163,9 @@ class Study:
         on_record=None,
         runner: Optional[SweepRunner] = None,
         store=None,
+        on_error=None,
+        run_timeout: Optional[float] = None,
+        faults=None,
     ) -> ResultSet:
         """Execute the study and return its :class:`~repro.results.ResultSet`.
 
@@ -175,15 +178,35 @@ class Study:
         completed run and turns already-stored requests into cache hits,
         so re-running an interrupted study against the same store
         resumes instead of restarting.
+
+        ``on_error`` (an :class:`~repro.experiments.runner.ErrorPolicy`
+        or ``"fail"``/``"continue"``/``"retry:N"``), ``run_timeout`` and
+        ``faults`` configure fault-tolerant execution — see
+        :meth:`~repro.experiments.runner.SweepRunner.run`. Under
+        ``continue``, failed runs surface on the returned set's
+        ``failures`` list instead of aborting the study.
         """
         requests = self.requests()
         if runner is not None:
             results = ResultSet.from_records(
-                runner.run(requests, on_record=on_record, store=store)
+                runner.run(
+                    requests,
+                    on_record=on_record,
+                    store=store,
+                    policy=on_error,
+                    run_timeout=run_timeout,
+                    faults=faults,
+                )
             )
         else:
             results = execute_requests(
-                requests, jobs=jobs, on_record=on_record, store=store
+                requests,
+                jobs=jobs,
+                on_record=on_record,
+                store=store,
+                on_error=on_error,
+                run_timeout=run_timeout,
+                faults=faults,
             )
         if out is not None:
             results.save(out)
@@ -195,17 +218,29 @@ class Study:
 
 
 def execute_requests(
-    requests: Sequence[RunRequest], jobs: int = 1, on_record=None, store=None
+    requests: Sequence[RunRequest],
+    jobs: int = 1,
+    on_record=None,
+    store=None,
+    on_error=None,
+    run_timeout: Optional[float] = None,
+    faults=None,
 ) -> ResultSet:
     """Run pre-built requests and wrap the records (CLI plumbing helper).
 
-    ``store`` enables checkpoint/resume/dedupe semantics — see
-    :meth:`~repro.experiments.runner.SweepRunner.run`.
+    ``store`` enables checkpoint/resume/dedupe semantics; ``on_error``,
+    ``run_timeout`` and ``faults`` configure fault-tolerant execution —
+    see :meth:`~repro.experiments.runner.SweepRunner.run`.
     """
     if jobs < 0:
         raise ValueError("jobs must be >= 0 (0 = all available cores)")
     with SweepRunner(jobs=default_jobs() if jobs == 0 else jobs) as runner:
         records: List[RunRecord] = runner.run(
-            requests, on_record=on_record, store=store
+            requests,
+            on_record=on_record,
+            store=store,
+            policy=on_error,
+            run_timeout=run_timeout,
+            faults=faults,
         )
     return ResultSet.from_records(records)

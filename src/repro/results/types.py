@@ -35,6 +35,7 @@ from repro.results.metrics import DEFAULT_ALIGN_KEYS
 
 RESULT_JSON = "result.json"
 MANIFEST_JSON = "manifest.json"
+FAILURES_JSON = "failures.json"
 
 
 class ResultLoadError(RuntimeError):
@@ -70,6 +71,28 @@ def canonical_result_dict(result: ExperimentResult) -> Dict[str, object]:
 def _param_matches(actual: object, expected: object) -> bool:
     """Tolerant parameter equality: typed values or their CLI spellings."""
     return actual == expected or str(actual) == str(expected)
+
+
+def _load_failures(out_dir: str) -> List[object]:
+    """The failure records of an export tree (``failures.json``), if any."""
+    from repro.experiments.runner import RunFailure
+
+    path = os.path.join(out_dir, FAILURES_JSON)
+    try:
+        with open(path) as handle:
+            data = json.load(handle)
+    except FileNotFoundError:
+        return []
+    except json.JSONDecodeError as error:
+        raise ResultLoadError(
+            f"corrupt failures file {path} ({error})", artifact=path
+        ) from error
+    try:
+        return [RunFailure.from_dict(entry) for entry in data.get("failures", [])]
+    except (KeyError, TypeError, AttributeError) as error:
+        raise ResultLoadError(
+            f"corrupt failures file {path} ({error})", artifact=path
+        ) from error
 
 
 class RunResult:
@@ -307,21 +330,53 @@ class ResultSet:
     ``study.run().filter(topology="mesh").split_by("algorithm")``.
     Run ids are unique within a set — the same invariant the sweep
     runner enforces — which keeps exports collision-free.
+
+    A set produced by a fault-tolerant sweep (``--on-error continue``)
+    additionally carries the failed runs as
+    :class:`~repro.experiments.runner.RunFailure` records in
+    ``failures``: the surviving runs stay first-class (every verb works
+    over them), the failures stay visible instead of silently vanishing.
+    ``filter`` and slices keep the failures; grouped sub-sets
+    (``split_by``/``align_on``) do not, since failures produced no
+    parameters to group on.
     """
 
-    def __init__(self, runs: Iterable[RunResult]):
+    def __init__(self, runs: Iterable[RunResult], failures: Iterable = ()):
         self.runs: Tuple[RunResult, ...] = tuple(runs)
+        self.failures: Tuple[object, ...] = tuple(failures)
         run_ids = [run.run_id for run in self.runs]
         if len(set(run_ids)) != len(run_ids):
             raise ValueError("duplicate run ids in result set")
         self._by_id = {run.run_id: run for run in self.runs}
 
+    @property
+    def ok(self) -> bool:
+        """Whether every run of the originating sweep succeeded."""
+        return not self.failures
+
     # -- construction -------------------------------------------------
 
     @classmethod
     def from_records(cls, records: Iterable) -> "ResultSet":
-        """Wrap sweep :class:`~repro.experiments.runner.RunRecord`\\ s."""
-        return cls(RunResult.from_record(record) for record in records)
+        """Wrap sweep :class:`~repro.experiments.runner.RunRecord`\\ s.
+
+        Failed records (``record.failure`` set, no result payload)
+        become entries in ``failures`` rather than runs.
+        """
+        records = list(records)
+        failures = [
+            record.failure
+            for record in records
+            if getattr(record, "failure", None) is not None
+        ]
+        return cls(
+            (
+                RunResult.from_record(record)
+                for record in records
+                if getattr(record, "failure", None) is None
+            ),
+            failures=failures,
+        )
 
     @classmethod
     def load(cls, out_dir: str) -> "ResultSet":
@@ -333,6 +388,7 @@ class ResultSet:
         containing a ``result.json`` loads in sorted name order.
         """
         manifest_path = os.path.join(out_dir, MANIFEST_JSON)
+        failures = _load_failures(out_dir)
         runs: List[RunResult] = []
         if os.path.isfile(manifest_path):
             try:
@@ -352,7 +408,7 @@ class ResultSet:
                         kwargs=entry.get("kwargs"),
                     )
                 )
-            return cls(runs)
+            return cls(runs, failures=failures)
         try:
             names = sorted(os.listdir(out_dir))
         except FileNotFoundError:
@@ -363,13 +419,13 @@ class ResultSet:
             run_dir = os.path.join(out_dir, name)
             if os.path.isfile(os.path.join(run_dir, RESULT_JSON)):
                 runs.append(RunResult.load(run_dir))
-        if not runs:
+        if not runs and not failures:
             raise ResultLoadError(
                 f"{out_dir}: no manifest.json and no run directories "
                 f"containing {RESULT_JSON}",
                 artifact=out_dir,
             )
-        return cls(runs)
+        return cls(runs, failures=failures)
 
     @classmethod
     def from_store(cls, store, **params: object) -> "ResultSet":
@@ -395,7 +451,7 @@ class ResultSet:
 
     def __getitem__(self, key) -> Union[RunResult, "ResultSet"]:
         if isinstance(key, slice):
-            return ResultSet(self.runs[key])
+            return ResultSet(self.runs[key], failures=self.failures)
         if isinstance(key, str):
             return self._by_id[key]
         return self.runs[key]
@@ -424,13 +480,16 @@ class ResultSet:
         ``nodes="16"`` both match a run with ``nodes: 16``.
         """
         return ResultSet(
-            run
-            for run in self.runs
-            if (predicate is None or predicate(run))
-            and all(
-                _param_matches(run.parameters.get(name), value)
-                for name, value in params.items()
-            )
+            (
+                run
+                for run in self.runs
+                if (predicate is None or predicate(run))
+                and all(
+                    _param_matches(run.parameters.get(name), value)
+                    for name, value in params.items()
+                )
+            ),
+            failures=self.failures,
         )
 
     def param_keys(self) -> List[str]:
@@ -543,9 +602,12 @@ class ResultSet:
         export. Manifest timing reflects what this set knows: live
         runs carry their wall seconds, loaded runs re-save with zeroed
         timing (artefact bytes are unaffected — timing lives only in
-        the manifest).
+        the manifest). A set carrying failures additionally writes
+        ``failures.json``; a fully successful set removes any stale one,
+        so a resumed-then-completed tree re-saves byte-identically to an
+        uninterrupted export.
         """
-        from repro.experiments.export import export_records
+        from repro.experiments.export import export_failures, export_records
         from repro.experiments.runner import RunRecord, RunRequest
 
         records = [
@@ -560,4 +622,6 @@ class ResultSet:
             )
             for run in self.runs
         ]
-        return export_records(records, out_dir)
+        paths = export_records(records, out_dir)
+        export_failures(list(self.failures), out_dir)
+        return paths

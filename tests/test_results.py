@@ -562,25 +562,25 @@ class TestListJson:
 
 
 class TestSweepRunnerShutdown:
-    def test_close_survives_torn_down_pool(self):
-        class TornDownPool:
-            def terminate(self):
+    def test_close_survives_torn_down_executor(self):
+        class TornDownExecutor:
+            # Interpreter-shutdown symptoms: executor internals' module
+            # globals already collected.
+            _processes = None
+
+            def shutdown(self, wait=True, cancel_futures=False):
                 raise AttributeError("'NoneType' object has no attribute 'util'")
 
-            def join(self):  # pragma: no cover - terminate raises first
-                raise TypeError("'NoneType' object is not callable")
-
         runner = SweepRunner(jobs=2)
-        runner._pool = TornDownPool()
-        runner._pool_workers = 2
+        runner._executor = TornDownExecutor()
         runner.close()  # must not raise
-        assert runner._pool is None and runner._pool_workers == 0
+        assert runner._executor is None
         runner.close()  # idempotent
 
     def test_close_survives_missing_attribute(self):
         runner = SweepRunner.__new__(SweepRunner)  # __init__ never ran
         runner.close()
-        assert runner._pool is None
+        assert runner._executor is None
 
     def test_del_swallows_everything(self):
         runner = SweepRunner(jobs=2)
