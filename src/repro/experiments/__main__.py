@@ -133,10 +133,11 @@ def _add_store(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--store",
         default=None,
-        metavar="PATH",
+        metavar="URL",
         help="checkpoint runs into a result store and skip runs already "
-        "present (a .sqlite/.db path = sqlite backend, anything else = "
-        "an export-tree directory); an interrupted sweep re-issued "
+        "present: sqlite:PATH | dir:PATH, or a bare path dispatched on "
+        "suffix (.sqlite/.db = sqlite backend, anything else = an "
+        "export-tree directory); an interrupted sweep re-issued "
         "against the same store resumes instead of restarting",
     )
 

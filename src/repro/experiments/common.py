@@ -53,6 +53,23 @@ class Table:
         idx = self.columns.index(name)
         return [row[idx] for row in self.rows]
 
+    def to_json_dict(self) -> Dict[str, object]:
+        """The table's JSON body: title, columns, rows.
+
+        This is the single serialised form of a table — the export
+        layer embeds it in ``result.json`` (via
+        :meth:`ExperimentResult.to_dict`) and the sweep service returns
+        it in HTTP responses, so the two can never drift. Schema
+        versioning happens at the enclosing envelope (``result.json``'s
+        layout, the service's ``repro.results/...`` documents), not per
+        table, which keeps today's export bytes unchanged.
+        """
+        return {
+            "title": self.title,
+            "columns": list(self.columns),
+            "rows": [list(r) for r in self.rows],
+        }
+
 
 @dataclass
 class ExperimentResult:
@@ -135,10 +152,7 @@ class ExperimentResult:
             "experiment": self.experiment,
             "description": self.description,
             "parameters": dict(self.parameters),
-            "tables": [
-                {"title": t.title, "columns": list(t.columns), "rows": [list(r) for r in t.rows]}
-                for t in self.tables
-            ],
+            "tables": [t.to_json_dict() for t in self.tables],
             "series": {name: [list(p) for p in points] for name, points in self.series.items()},
             "notes": list(self.notes),
         }

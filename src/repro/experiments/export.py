@@ -38,9 +38,18 @@ def table_to_markdown(table: Table) -> str:
 
 
 def export_json(result: ExperimentResult, path: str) -> None:
-    """Write one result as deterministic JSON (sorted keys, no timing)."""
+    """Write one result as deterministic JSON (sorted keys, no timing).
+
+    Serialises through :func:`repro.results.canonical_result_dict` —
+    the same document the sweep service returns over HTTP — so exported
+    bytes and served bytes come from one code path. (The JSON round
+    trip inside ``canonical_result_dict`` is byte-neutral here: sorted
+    keys make ordering moot and tuples render as lists either way.)
+    """
+    from repro.results.types import canonical_result_dict
+
     with open(path, "w") as handle:
-        json.dump(result.to_dict(), handle, sort_keys=True, indent=2)
+        json.dump(canonical_result_dict(result), handle, sort_keys=True, indent=2)
         handle.write("\n")
 
 

@@ -68,6 +68,10 @@ class RunRequest:
         return dict(self.kwargs)
 
 
+#: Schema tag of the failure wire form (:meth:`RunFailure.to_json_dict`).
+RUN_FAILURE_SCHEMA = "repro.results/failure/1"
+
+
 @dataclass
 class RunFailure:
     """One run's typed failure record.
@@ -103,6 +107,16 @@ class RunFailure:
             "traceback": self.traceback,
             "attempts": self.attempts,
         }
+
+    def to_json_dict(self) -> Dict[str, object]:
+        """The schema-versioned wire form (HTTP responses).
+
+        The body is exactly :meth:`to_dict` — the same dict
+        ``failures.json`` exports — wrapped with a ``schema`` tag at the
+        envelope so clients can detect layout changes; export bytes
+        carry no tag and stay unchanged.
+        """
+        return {"schema": RUN_FAILURE_SCHEMA, **self.to_dict()}
 
     @classmethod
     def from_dict(cls, data: Mapping[str, object]) -> "RunFailure":

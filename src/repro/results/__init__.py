@@ -39,11 +39,13 @@ built on this layer.
 """
 
 from repro.experiments.faults import FaultPlan
-from repro.experiments.runner import ErrorPolicy, RunFailure
+from repro.experiments.runner import RUN_FAILURE_SCHEMA, ErrorPolicy, RunFailure
 from repro.results.compare import (
+    COMPARE_TABLE_SCHEMA,
     ComparisonError,
     IncompleteSweepWarning,
     compare,
+    compare_json_dict,
     default_metrics,
     render_compare,
 )
@@ -70,6 +72,7 @@ from repro.results.store import (
 )
 from repro.results.study import Study, execute_requests
 from repro.results.types import (
+    RUN_RESULT_SCHEMA,
     ResultLoadError,
     ResultSet,
     RunResult,
@@ -77,11 +80,14 @@ from repro.results.types import (
 )
 
 __all__ = [
+    "COMPARE_TABLE_SCHEMA",
     "ComparisonError",
     "DirectoryStore",
     "ErrorPolicy",
     "FaultPlan",
     "IncompleteSweepWarning",
+    "RUN_FAILURE_SCHEMA",
+    "RUN_RESULT_SCHEMA",
     "ResultLoadError",
     "ResultStore",
     "RunFailure",
@@ -101,6 +107,7 @@ __all__ = [
     "ValidationReport",
     "canonical_result_dict",
     "compare",
+    "compare_json_dict",
     "default_metrics",
     "execute_requests",
     "render_compare",

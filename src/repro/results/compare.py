@@ -23,6 +23,10 @@ from repro.results.metrics import DEFAULT_BASELINE, DEFAULT_COMPARE_METRICS
 from repro.results.types import ResultSet, RunResult, _param_matches
 
 
+#: Schema tag of the compare-table wire form (:func:`compare_json_dict`).
+COMPARE_TABLE_SCHEMA = "repro.results/compare/1"
+
+
 class ComparisonError(ValueError):
     """The result set cannot be arranged into a comparison table."""
 
@@ -192,3 +196,19 @@ def render_compare(table: Table) -> str:
     from repro.experiments.export import table_to_markdown
 
     return table_to_markdown(table)
+
+
+def compare_json_dict(table: Table) -> Dict[str, object]:
+    """The schema-versioned wire form of a compare table (HTTP responses).
+
+    Body is :meth:`~repro.experiments.common.Table.to_json_dict` — the
+    same serialisation every exported table uses — plus the rendered
+    markdown, which is byte-identical to the CLI ``compare`` output (and
+    the ``compare.md`` it writes, sans trailing newline), wrapped with a
+    ``schema`` tag at the envelope.
+    """
+    return {
+        "schema": COMPARE_TABLE_SCHEMA,
+        **table.to_json_dict(),
+        "markdown": render_compare(table),
+    }

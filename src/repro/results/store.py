@@ -43,7 +43,7 @@ import zlib
 from typing import Dict, Iterator, List, Mapping, Optional, Tuple
 
 from repro.experiments.common import ExperimentResult
-from repro.experiments.specs import get_spec
+from repro.experiments.specs import ParameterValueError, get_spec
 from repro.results.types import (
     ResultLoadError,
     ResultSet,
@@ -57,8 +57,13 @@ SQLITE_SCHEMA = 1
 #: Sidecar file a DirectoryStore keeps while a sweep is in flight.
 CHECKPOINT_SIDECAR = ".sweep-checkpoint.json"
 
-#: File suffixes that make ``open_store`` pick the sqlite backend.
+#: File suffixes that make ``open_store`` pick the sqlite backend when
+#: given a bare path (the legacy spelling; explicit ``sqlite:``/``dir:``
+#: URL schemes are the public dispatch).
 SQLITE_SUFFIXES = (".sqlite", ".sqlite3", ".db")
+
+#: URL schemes ``open_store`` understands: scheme -> backend class name.
+STORE_SCHEMES = ("sqlite", "dir")
 
 
 def canonical_params(spec_id: str, kwargs: Mapping[str, object]) -> Dict[str, object]:
@@ -678,14 +683,31 @@ class SqliteStore(ResultStore):
             self._conn = None
 
 
-def open_store(path: str) -> ResultStore:
-    """Open (creating if needed) the store at ``path``, picking the backend.
+def open_store(url: str) -> ResultStore:
+    """Open (creating if needed) the store named by ``url``.
 
-    A path with a sqlite suffix (``.sqlite``/``.sqlite3``/``.db``) — or
-    an existing regular file — opens a :class:`SqliteStore`; anything
-    else is a :class:`DirectoryStore` export tree.
+    The public spelling is an explicit URL scheme, which makes the
+    backend choice part of the name instead of a filename convention:
+
+    * ``sqlite:PATH`` — a columnar :class:`SqliteStore` file;
+    * ``dir:PATH`` — a :class:`DirectoryStore` export tree.
+
+    A bare path (no scheme) keeps the legacy suffix dispatch as a shim:
+    a sqlite suffix (``.sqlite``/``.sqlite3``/``.db``) — or an existing
+    regular file — opens a :class:`SqliteStore`; anything else is a
+    :class:`DirectoryStore`. The CLI's ``--store``, ``Study.run`` and
+    the sweep service all resolve store names through this one factory.
     """
-    lowered = path.lower()
-    if lowered.endswith(SQLITE_SUFFIXES) or os.path.isfile(path):
-        return SqliteStore(path)
-    return DirectoryStore(path)
+    scheme, sep, rest = url.partition(":")
+    if sep and scheme in STORE_SCHEMES:
+        if not rest:
+            # ParameterValueError so the CLI reports it as a clean
+            # input error (exit 2), like any other bad option value.
+            raise ParameterValueError(
+                f"store url {url!r}: empty path after {scheme!r} scheme"
+            )
+        return SqliteStore(rest) if scheme == "sqlite" else DirectoryStore(rest)
+    lowered = url.lower()
+    if lowered.endswith(SQLITE_SUFFIXES) or os.path.isfile(url):
+        return SqliteStore(url)
+    return DirectoryStore(url)

@@ -174,10 +174,12 @@ class Study:
         (per-run dirs + manifest + index), byte-identical to the CLI's
         ``sweep ... --out``. Pass an existing ``runner`` to reuse a
         persistent worker pool across several studies. ``store`` (a
-        :class:`~repro.results.store.ResultStore`) checkpoints every
-        completed run and turns already-stored requests into cache hits,
-        so re-running an interrupted study against the same store
-        resumes instead of restarting.
+        :class:`~repro.results.store.ResultStore`, or a store url such
+        as ``"sqlite:runs.sqlite"``/``"dir:out"`` resolved through
+        :func:`~repro.results.store.open_store` and closed on return)
+        checkpoints every completed run and turns already-stored
+        requests into cache hits, so re-running an interrupted study
+        against the same store resumes instead of restarting.
 
         ``on_error`` (an :class:`~repro.experiments.runner.ErrorPolicy`
         or ``"fail"``/``"continue"``/``"retry:N"``), ``run_timeout`` and
@@ -187,27 +189,32 @@ class Study:
         ``failures`` list instead of aborting the study.
         """
         requests = self.requests()
-        if runner is not None:
-            results = ResultSet.from_records(
-                runner.run(
+        store, opened = _resolve_store(store)
+        try:
+            if runner is not None:
+                results = ResultSet.from_records(
+                    runner.run(
+                        requests,
+                        on_record=on_record,
+                        store=store,
+                        policy=on_error,
+                        run_timeout=run_timeout,
+                        faults=faults,
+                    )
+                )
+            else:
+                results = execute_requests(
                     requests,
+                    jobs=jobs,
                     on_record=on_record,
                     store=store,
-                    policy=on_error,
+                    on_error=on_error,
                     run_timeout=run_timeout,
                     faults=faults,
                 )
-            )
-        else:
-            results = execute_requests(
-                requests,
-                jobs=jobs,
-                on_record=on_record,
-                store=store,
-                on_error=on_error,
-                run_timeout=run_timeout,
-                faults=faults,
-            )
+        finally:
+            if opened:
+                store.close()
         if out is not None:
             results.save(out)
         return results
@@ -215,6 +222,21 @@ class Study:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         axes = ", ".join(f"{k}x{len(v)}" for k, v in self._grid.items())
         return f"Study({self._spec.id!r}, {axes or 'defaults'})"
+
+
+def _resolve_store(store):
+    """Resolve a store argument: pass instances through, open url strings.
+
+    Returns ``(store, opened)`` — ``opened`` is True when this call
+    created the instance (from a ``sqlite:``/``dir:``/bare-path url via
+    :func:`~repro.results.store.open_store`) and the caller therefore
+    owns closing it.
+    """
+    if isinstance(store, str):
+        from repro.results.store import open_store
+
+        return open_store(store), True
+    return store, False
 
 
 def execute_requests(
@@ -228,19 +250,25 @@ def execute_requests(
 ) -> ResultSet:
     """Run pre-built requests and wrap the records (CLI plumbing helper).
 
-    ``store`` enables checkpoint/resume/dedupe semantics; ``on_error``,
-    ``run_timeout`` and ``faults`` configure fault-tolerant execution —
-    see :meth:`~repro.experiments.runner.SweepRunner.run`.
+    ``store`` (an instance or a store url string) enables checkpoint/
+    resume/dedupe semantics; ``on_error``, ``run_timeout`` and
+    ``faults`` configure fault-tolerant execution — see
+    :meth:`~repro.experiments.runner.SweepRunner.run`.
     """
     if jobs < 0:
         raise ValueError("jobs must be >= 0 (0 = all available cores)")
-    with SweepRunner(jobs=default_jobs() if jobs == 0 else jobs) as runner:
-        records: List[RunRecord] = runner.run(
-            requests,
-            on_record=on_record,
-            store=store,
-            policy=on_error,
-            run_timeout=run_timeout,
-            faults=faults,
-        )
+    store, opened = _resolve_store(store)
+    try:
+        with SweepRunner(jobs=default_jobs() if jobs == 0 else jobs) as runner:
+            records: List[RunRecord] = runner.run(
+                requests,
+                on_record=on_record,
+                store=store,
+                policy=on_error,
+                run_timeout=run_timeout,
+                faults=faults,
+            )
+    finally:
+        if opened:
+            store.close()
     return ResultSet.from_records(records)

@@ -37,6 +37,9 @@ RESULT_JSON = "result.json"
 MANIFEST_JSON = "manifest.json"
 FAILURES_JSON = "failures.json"
 
+#: Schema tag of the run wire form (:meth:`RunResult.to_json_dict`).
+RUN_RESULT_SCHEMA = "repro.results/run/1"
+
 
 class ResultLoadError(RuntimeError):
     """A stored run could not be loaded: missing or corrupt artefact.
@@ -304,6 +307,25 @@ class RunResult:
     def canonical(self) -> Dict[str, object]:
         """JSON-normalised plain-data form (see :func:`canonical_result_dict`)."""
         return canonical_result_dict(self.result)
+
+    def to_json_dict(self) -> Dict[str, object]:
+        """The schema-versioned wire form (HTTP responses).
+
+        The ``result`` value is :func:`canonical_result_dict` — the
+        exact document ``result.json`` serialises (the export layer
+        writes it through the same function), so a service response and
+        an exported artefact can never drift. Identity (run id, spec
+        id, normalised request kwargs) rides in the envelope alongside
+        the ``schema`` tag; wall seconds are deliberately absent, like
+        everywhere else in the deterministic surface.
+        """
+        return {
+            "schema": RUN_RESULT_SCHEMA,
+            "run_id": self.run_id,
+            "spec_id": self.spec_id,
+            "kwargs": json.loads(json.dumps(self.kwargs, sort_keys=True, default=list)),
+            "result": self.canonical(),
+        }
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, RunResult):

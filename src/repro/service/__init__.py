@@ -1,0 +1,42 @@
+"""The long-running sweep service: HTTP studies over a shared store.
+
+``python -m repro.service --store sqlite:runs.sqlite --jobs 4`` starts
+a single-process service that accepts study submissions over HTTP (the
+same JSON grid shape :class:`repro.results.Study` builds), queues them,
+executes each across one persistent supervised worker pool, and
+checkpoints every run into one shared result store — so concurrent
+clients pool their work: overlapping grids dedupe into cache hits via
+the store's content keys, and a resubmitted study costs nothing.
+
+Layering (see EXPERIMENTS.md, "Sweep service"):
+
+* :class:`SweepService` (:mod:`repro.service.jobs`) — the HTTP-free
+  queue + scheduler core;
+* :class:`ServiceApp` (:mod:`repro.service.app`) — a pure WSGI app
+  rendering the service over the same code paths the CLI uses, so
+  HTTP responses are byte-identical to ``compare``/``list --json``;
+* :mod:`repro.service.http` — stdlib threaded WSGI hosting;
+* :mod:`repro.service.__main__` — the CLI entry point with graceful
+  SIGINT/SIGTERM drain.
+"""
+
+from repro.service.app import ServiceApp, make_app
+from repro.service.jobs import (
+    JOB_SCHEMA,
+    STATUS_SCHEMA,
+    Job,
+    JobError,
+    SweepService,
+    build_study,
+)
+
+__all__ = [
+    "JOB_SCHEMA",
+    "STATUS_SCHEMA",
+    "Job",
+    "JobError",
+    "ServiceApp",
+    "SweepService",
+    "build_study",
+    "make_app",
+]

@@ -1,0 +1,260 @@
+"""The sweep service's HTTP surface: a pure WSGI application.
+
+This module is deliberately a *thin rendering layer*: every response
+body is produced by the same code paths the CLI uses — ``/scenarios``
+is :func:`repro.experiments.specs.catalogue` (``list --json``), job
+results are :meth:`RunResult.to_json_dict` /
+:meth:`ResultSet.scalars_frame`, and ``/jobs/<id>/compare.md`` is
+:func:`repro.results.render_compare` over the same
+:func:`repro.results.compare` table the ``compare`` subcommand prints —
+so HTTP bytes and CLI bytes match exactly. All queue logic lives in
+:class:`repro.service.jobs.SweepService`.
+
+Being plain WSGI (no framework, stdlib only) keeps the service free of
+new dependencies and portable: :mod:`repro.service.http` serves it with
+``wsgiref`` + a threading mix-in, and any other WSGI (or, via a
+one-file adapter, ASGI) server could host the same callable.
+"""
+
+from __future__ import annotations
+
+import json
+import warnings
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+from repro.experiments.specs import (
+    ParameterValueError,
+    UnknownExperimentError,
+    UnknownParameterError,
+    catalogue,
+)
+from repro.results import ComparisonError, IncompleteSweepWarning, compare, compare_json_dict, render_compare
+from repro.service.jobs import DONE, JobError, SweepService
+
+#: Maximum accepted submission body, bytes. Grids are tiny documents;
+#: anything bigger is a client error, not a study.
+MAX_BODY_BYTES = 1 << 20
+
+_STATUS_TEXT = {
+    200: "200 OK",
+    202: "202 Accepted",
+    400: "400 Bad Request",
+    404: "404 Not Found",
+    405: "405 Method Not Allowed",
+    409: "409 Conflict",
+    413: "413 Payload Too Large",
+    503: "503 Service Unavailable",
+}
+
+#: The submission-time error types that map to HTTP 400: invalid
+#: documents plus the catalogue's typed validation errors (the same
+#: ones the CLI reports as exit 2).
+BAD_REQUEST_ERRORS = (
+    JobError,
+    UnknownExperimentError,
+    UnknownParameterError,
+    ParameterValueError,
+    ValueError,
+)
+
+INDEX = {
+    "service": "repro sweep service",
+    "endpoints": {
+        "GET /": "this index",
+        "GET /scenarios": "the scenario catalogue (same document as list --json)",
+        "GET /status": "queue depth, worker count, failure counts",
+        "POST /studies": "submit a study; body mirrors the Study builder",
+        "GET /jobs": "every job, newest last (summaries)",
+        "GET /jobs/<id>": "one job: state, per-run progress, typed failures",
+        "DELETE /jobs/<id>": "cancel a queued job",
+        "GET /jobs/<id>/results": "flat parameters+scalars table, one row per run",
+        "GET /jobs/<id>/runs/<run_id>": "one run's full result document",
+        "GET /jobs/<id>/compare": "cross-run delta table (query: baseline, metrics, align)",
+        "GET /jobs/<id>/compare.md": "the same table as markdown, byte-identical to the CLI",
+    },
+}
+
+
+class ServiceApp:
+    """WSGI callable over one :class:`~repro.service.jobs.SweepService`."""
+
+    def __init__(self, service: SweepService):
+        self.service = service
+
+    # -- plumbing ------------------------------------------------------
+
+    def __call__(self, environ: Mapping, start_response: Callable):
+        method = environ.get("REQUEST_METHOD", "GET")
+        path = environ.get("PATH_INFO", "/") or "/"
+        try:
+            status, body, content_type = self._route(method, path, environ)
+        except BAD_REQUEST_ERRORS as error:
+            status, body, content_type = 400, {"error": str(error)}, None
+        if content_type is None:
+            content_type = "application/json"
+            payload = (
+                json.dumps(body, sort_keys=True, indent=2) + "\n"
+            ).encode("utf-8")
+        else:
+            payload = body.encode("utf-8")
+        start_response(
+            _STATUS_TEXT[status],
+            [
+                ("Content-Type", f"{content_type}; charset=utf-8"),
+                ("Content-Length", str(len(payload))),
+            ],
+        )
+        return [payload]
+
+    def _route(
+        self, method: str, path: str, environ: Mapping
+    ) -> Tuple[int, object, Optional[str]]:
+        parts = [part for part in path.split("/") if part]
+        if not parts:
+            return self._expect(method, "GET") or (200, INDEX, None)
+        head, rest = parts[0], parts[1:]
+        if head == "scenarios" and not rest:
+            return self._expect(method, "GET") or (200, catalogue(), None)
+        if head == "status" and not rest:
+            return self._expect(method, "GET") or (
+                200,
+                self.service.status_json_dict(),
+                None,
+            )
+        if head == "studies" and not rest:
+            return self._expect(method, "POST") or self._submit(environ)
+        if head == "jobs":
+            return self._jobs(method, rest, environ)
+        return 404, {"error": f"no such resource: {path}"}, None
+
+    @staticmethod
+    def _expect(method: str, allowed: str):
+        if method != allowed:
+            return 405, {"error": f"method {method} not allowed; use {allowed}"}, None
+        return None
+
+    # -- handlers ------------------------------------------------------
+
+    def _submit(self, environ: Mapping) -> Tuple[int, object, None]:
+        try:
+            length = int(environ.get("CONTENT_LENGTH") or 0)
+        except ValueError:
+            length = 0
+        if length > MAX_BODY_BYTES:
+            return 413, {"error": "submission body too large"}, None
+        raw = environ["wsgi.input"].read(length) if length else b""
+        try:
+            payload = json.loads(raw.decode("utf-8")) if raw else {}
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            return 400, {"error": f"submission is not valid JSON: {error}"}, None
+        try:
+            job = self.service.submit(payload)
+        except JobError as error:
+            if "shutting down" in str(error):
+                return 503, {"error": str(error)}, None
+            raise
+        return 202, job.to_json_dict(), None
+
+    def _jobs(
+        self, method: str, rest: List[str], environ: Mapping
+    ) -> Tuple[int, object, Optional[str]]:
+        if not rest:
+            denied = self._expect(method, "GET")
+            if denied:
+                return denied
+            return (
+                200,
+                {"jobs": [job.to_json_dict(runs=False) for job in self.service.jobs_list()]},
+                None,
+            )
+        job = self.service.job(rest[0])
+        if job is None:
+            return 404, {"error": f"no such job: {rest[0]}"}, None
+        tail = rest[1:]
+        if not tail:
+            if method == "DELETE":
+                if self.service.cancel(job.id):
+                    return 200, job.to_json_dict(), None
+                return (
+                    409,
+                    {"error": f"job {job.id} is {job.state}; only queued jobs cancel"},
+                    None,
+                )
+            return self._expect(method, "GET") or (200, job.to_json_dict(), None)
+        denied = self._expect(method, "GET")
+        if denied:
+            return denied
+        if job.state != DONE or job.results is None:
+            return (
+                409,
+                {
+                    "error": f"job {job.id} is {job.state}; results are served "
+                    f"once the job is done",
+                    "job": job.to_json_dict(runs=False),
+                },
+                None,
+            )
+        results = job.results
+        if tail == ["results"]:
+            return 200, results.scalars_frame().to_json_dict(), None
+        if len(tail) == 2 and tail[0] == "runs":
+            for run in results:
+                if run.run_id == tail[1]:
+                    return 200, run.to_json_dict(), None
+            return 404, {"error": f"job {job.id} has no run {tail[1]!r}"}, None
+        if tail in (["compare"], ["compare.md"]):
+            table, incomplete = self._compare(results, environ)
+            if tail == ["compare.md"]:
+                # The CLI's exact stdout (and compare.md file) bytes.
+                return 200, render_compare(table) + "\n", "text/markdown"
+            doc = compare_json_dict(table)
+            doc["incomplete"] = incomplete
+            return 200, doc, None
+        return 404, {"error": f"no such job resource: {'/'.join(tail)}"}, None
+
+    @staticmethod
+    def _compare(results, environ: Mapping):
+        """The delta table for a job, honouring the CLI's compare knobs.
+
+        Query params mirror the subcommand flags: ``baseline=k=v`` is
+        repeatable (``--baseline``), ``metrics``/``align`` are
+        comma-separated lists. :class:`ComparisonError` propagates to
+        the 400 handler; an incomplete-sweep warning (failed runs under
+        ``continue``) is captured and returned as a flag instead of
+        hitting a logger nobody watches.
+        """
+        from urllib.parse import parse_qs
+
+        query = parse_qs(environ.get("QUERY_STRING", ""))
+        baseline: Optional[Dict[str, str]] = None
+        if "baseline" in query:
+            baseline = {}
+            for assignment in query["baseline"]:
+                key, sep, value = assignment.partition("=")
+                if not sep or not key:
+                    raise ComparisonError(
+                        f"baseline expects KEY=VALUE, got {assignment!r}"
+                    )
+                baseline[key.strip()] = value.strip()
+        metrics = None
+        if "metrics" in query:
+            metrics = [
+                m.strip() for m in ",".join(query["metrics"]).split(",") if m.strip()
+            ]
+        align = None
+        if "align" in query:
+            align = [
+                k.strip() for k in ",".join(query["align"]).split(",") if k.strip()
+            ]
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always", IncompleteSweepWarning)
+            table = compare(results, baseline=baseline, metrics=metrics, align=align)
+        incomplete = any(
+            issubclass(w.category, IncompleteSweepWarning) for w in caught
+        )
+        return table, incomplete
+
+
+def make_app(service: SweepService) -> ServiceApp:
+    """The conventional WSGI factory (``make_app(service)`` → callable)."""
+    return ServiceApp(service)

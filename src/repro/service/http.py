@@ -1,0 +1,45 @@
+"""Stdlib WSGI hosting for the sweep service: threads, no dependencies.
+
+``wsgiref.simple_server`` is single-threaded by default, which would
+let one slow poll block every other client *and* the submit path. The
+classic fix is the :class:`socketserver.ThreadingMixIn` — each request
+gets a daemon thread, which is plenty for a results API whose handlers
+only take a lock and render JSON (all heavy work happens on the
+service's scheduler thread, never in a request handler).
+"""
+
+from __future__ import annotations
+
+import socketserver
+from wsgiref.simple_server import WSGIRequestHandler, WSGIServer, make_server
+
+
+class ThreadingWSGIServer(socketserver.ThreadingMixIn, WSGIServer):
+    """A threaded WSGI server: one daemon thread per request."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+
+class QuietHandler(WSGIRequestHandler):
+    """A request handler that skips per-request stderr logging."""
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass
+
+
+def serve(app, host: str = "127.0.0.1", port: int = 8008, quiet: bool = False):
+    """Bind a :class:`ThreadingWSGIServer` for ``app`` (not yet serving).
+
+    Returns the server; callers own ``serve_forever()`` /
+    ``shutdown()`` / ``server_close()``. Port 0 binds an ephemeral port
+    (read it back from ``server.server_address``) — the tests and the
+    CI smoke job use that to avoid collisions.
+    """
+    return make_server(
+        host,
+        port,
+        app,
+        server_class=ThreadingWSGIServer,
+        handler_class=QuietHandler if quiet else WSGIRequestHandler,
+    )

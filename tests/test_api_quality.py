@@ -28,6 +28,7 @@ PACKAGES = [
     "repro.topology",
     "repro.experiments",
     "repro.results",
+    "repro.service",
 ]
 
 

@@ -25,14 +25,19 @@ from repro.experiments.runner import (
 )
 from repro.experiments.specs import UnknownParameterError, catalogue, get_spec
 from repro.results import (
+    COMPARE_TABLE_SCHEMA,
     ComparisonError,
     DEFAULT_COMPARE_METRICS,
     MESHGEN_SUMMARY_COLUMNS,
+    RUN_FAILURE_SCHEMA,
+    RUN_RESULT_SCHEMA,
     ResultLoadError,
     ResultSet,
+    RunFailure,
     RunResult,
     Study,
     compare,
+    compare_json_dict,
     render_compare,
 )
 
@@ -161,6 +166,45 @@ class TestExportRoundTrip:
             )
         ]
         assert not mismatched, f"{spec_id}: byte drift after reload: {mismatched}"
+
+
+class TestWireForms:
+    """The schema-versioned JSON forms shared by export and HTTP."""
+
+    def test_run_result_wire_form_matches_exported_bytes(self, tmp_path):
+        record = execute_request(request_for("stability", {"slots": 1500, "trials": 15}))
+        run = RunResult.from_record(record)
+        doc = run.to_json_dict()
+        assert doc["schema"] == RUN_RESULT_SCHEMA
+        assert doc["run_id"] == run.run_id and doc["spec_id"] == "stability"
+        target = run.save(str(tmp_path))
+        with open(os.path.join(target, "result.json")) as handle:
+            exported = json.load(handle)
+        # One serialisation body: what the service responds with is the
+        # parsed form of exactly what the export tree wrote.
+        assert doc["result"] == exported
+
+    def test_failure_wire_form(self):
+        failure = RunFailure(
+            run_id="r~seed=3",
+            spec_id="stability",
+            kind="exception",
+            message="boom",
+            attempts=2,
+            wall_s=0.5,
+        )
+        doc = failure.to_json_dict()
+        assert doc["schema"] == RUN_FAILURE_SCHEMA
+        assert {k: v for k, v in doc.items() if k != "schema"} == failure.to_dict()
+
+    def test_compare_wire_form(self):
+        table = compare(synthetic_set())
+        doc = compare_json_dict(table)
+        assert doc["schema"] == COMPARE_TABLE_SCHEMA
+        assert doc["markdown"] == render_compare(table)
+        assert doc["columns"] == list(table.columns)
+        assert doc["rows"] == [list(row) for row in table.rows]
+        json.dumps(doc)  # JSON-safe throughout
 
 
 class TestResultSet:

@@ -244,6 +244,34 @@ class TestSqliteBackend:
         SqliteStore(path).close()
         assert isinstance(open_store(path), SqliteStore)
 
+    def test_open_store_explicit_schemes(self, tmp_path):
+        # Schemes override suffix dispatch entirely: sqlite: forces the
+        # sqlite backend on any path, dir: forces a tree even on a
+        # .sqlite-looking path.
+        store = open_store(f"sqlite:{tmp_path / 'anything.weird'}")
+        assert isinstance(store, SqliteStore)
+        store.close()
+        store = open_store(f"dir:{tmp_path / 'tree.sqlite'}")
+        assert isinstance(store, DirectoryStore)
+        store.close()
+        with pytest.raises(ValueError, match="empty path"):
+            open_store("sqlite:")
+        with pytest.raises(ValueError, match="empty path"):
+            open_store("dir:")
+        # Unknown prefixes are not schemes — they fall through to the
+        # bare-path shim (Windows drive letters stay directory paths).
+        assert isinstance(open_store(f"file:{tmp_path / 'x'}"), DirectoryStore)
+
+    def test_study_run_accepts_store_urls(self, tmp_path):
+        url = f"sqlite:{tmp_path / 'runs.sqlite'}"
+        first = Study("stability").set(**FAST).grid(seed=[3]).run(store=url)
+        assert len(first) == 1
+        hits = []
+        Study("stability").set(**FAST).grid(seed=[3]).run(
+            store=url, on_record=lambda record: hits.append(record.cached)
+        )
+        assert hits == [True]  # the url named the same backing store
+
 
 class TestDirectoryBackend:
     def test_put_exports_run_dir_immediately(self, tmp_path):
