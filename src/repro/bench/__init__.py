@@ -27,10 +27,11 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.bench.micro import MICRO_CASES
 from repro.bench.storecase import STORE_CASES
+from repro.bench.telemetrycase import TELEMETRY_CASES
 
 #: Every function-backed case (kind "micro"): engine micro-benchmarks
-#: plus the result-store throughput case.
-FUNCTION_CASES = {**MICRO_CASES, **STORE_CASES}
+#: plus the result-store throughput and telemetry overhead cases.
+FUNCTION_CASES = {**MICRO_CASES, **STORE_CASES, **TELEMETRY_CASES}
 
 SCHEMA = "repro.bench/1"
 
@@ -91,6 +92,17 @@ def build_suite() -> List[BenchCase]:
             _kw(runs=200),
             quick=True,
             repeat=2,
+        )
+    )
+    # Telemetry plane overhead on the mid-size meshgen point: the case
+    # itself runs attached and detached best-of-N and reports
+    # overhead_frac (< 0.05 is the budget), so repeat stays 1 here.
+    cases.append(
+        BenchCase(
+            "telemetry.overhead",
+            "micro",
+            "telemetry.overhead",
+            _kw(nodes=49, density=1.5),
         )
     )
     # Every canned paper experiment at its default parameters: the
@@ -228,7 +240,14 @@ def run_case(case: BenchCase, repeat: Optional[int] = None) -> Dict[str, object]
             wall = time.perf_counter() - started
             round_events = float(stats.get("events", 0)) or None
             round_ticks = None
-            round_scalars = None
+            # Any extra numeric keys a micro case reports (e.g. the
+            # telemetry case's overhead_frac) land as scalars, the same
+            # slot scenario cases use for their headline metrics.
+            round_scalars = {
+                key: float(value)
+                for key, value in stats.items()
+                if key != "events" and isinstance(value, (int, float))
+            } or None
         else:
             from repro.experiments.specs import get_spec
             from repro.results import RunResult

@@ -242,6 +242,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="resume an interrupted sweep from --store (requires --store; "
         "already-checkpointed runs are reported as cache hits)",
     )
+    sweep.add_argument(
+        "--live",
+        action="store_true",
+        help="render an in-place live progress table on stderr "
+        "(replaces the per-run completion lines)",
+    )
+    sweep.add_argument(
+        "--telemetry",
+        metavar="DIR",
+        default=None,
+        help="record telemetry events to per-run JSONL sidecars under DIR",
+    )
+    sweep.add_argument(
+        "--telemetry-interval",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="telemetry sampling interval in simulated seconds (default 1.0)",
+    )
     _add_jobs_out(sweep)
     _add_store(sweep)
     _add_fault_opts(sweep)
@@ -450,15 +469,35 @@ def _run_batch(
     on_error=None,
     run_timeout: Optional[float] = None,
     faults=None,
+    live: bool = False,
+    telemetry_dir: Optional[str] = None,
+    telemetry_interval: float = 1.0,
 ) -> ResultSet:
     if jobs < 0:
         raise ParameterValueError("--jobs must be >= 0 (0 = all available cores)")
     store = open_store(store_path) if store_path else None
     hits = [0]
 
+    hub = None
+    recorder = None
+    table = None
+    if live or telemetry_dir is not None:
+        from repro.telemetry import LiveTable, TelemetryHub, TelemetryRecorder
+
+        if telemetry_interval <= 0:
+            raise ParameterValueError("--telemetry-interval must be positive")
+        hub = TelemetryHub(sample_interval_s=telemetry_interval)
+        if telemetry_dir is not None:
+            recorder = hub.subscribe(TelemetryRecorder(telemetry_dir))
+        if live:
+            table = hub.subscribe(LiveTable(len(requests)))
+
     def on_record(record: RunRecord) -> None:
         hits[0] += record.cached
-        _print_record(record)
+        # The live table renders progress in place; interleaving the
+        # per-run completion lines would shred it.
+        if table is None:
+            _print_record(record)
 
     try:
         results = execute_requests(
@@ -469,6 +508,7 @@ def _run_batch(
             on_error=on_error,
             run_timeout=run_timeout,
             faults=faults,
+            telemetry=hub,
         )
         if store is not None:
             print(
@@ -477,6 +517,11 @@ def _run_batch(
                 file=sys.stderr,
             )
     finally:
+        if table is not None:
+            table.finish()
+        if recorder is not None:
+            recorder.close()
+            print(f"telemetry recorded under {telemetry_dir}", file=sys.stderr)
         if store is not None:
             store.close()
     if out is not None:
@@ -580,6 +625,9 @@ def cmd_sweep(args) -> int:
         on_error=policy,
         run_timeout=run_timeout,
         faults=faults,
+        live=args.live,
+        telemetry_dir=args.telemetry,
+        telemetry_interval=args.telemetry_interval,
     )
     return 4 if results.failures else 0
 

@@ -38,6 +38,7 @@ import itertools
 import multiprocessing
 import os
 import pickle
+import threading
 import time
 import traceback as traceback_module
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
@@ -48,6 +49,10 @@ from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, 
 from repro.experiments.common import ExperimentResult
 from repro.experiments.faults import FaultAction, FaultPlan
 from repro.experiments.specs import ScenarioSpec, get_spec
+from repro.telemetry.channel import WorkerPublisher, drain_channel
+from repro.telemetry.events import RunFailed, RunFinished, RunStarted
+from repro.telemetry.hub import RunEventGate
+from repro.telemetry.probe import ProbeSession, activate_probe
 
 
 @dataclass(frozen=True)
@@ -359,7 +364,51 @@ def execute_request(request: RunRequest) -> RunRecord:
     return RunRecord(request, result, time.perf_counter() - started)
 
 
-def _attempt(task: Tuple[RunRequest, Optional[FaultAction], int]):
+#: Pool-worker telemetry channel, installed by the executor initializer.
+_WORKER_CHANNEL = None
+
+
+def _worker_channel_init(channel) -> None:
+    """Executor ``initializer``: remember the worker→parent channel."""
+    global _WORKER_CHANNEL
+    _WORKER_CHANNEL = channel
+
+
+#: Inline-execution telemetry sink (the serial paths run in the parent;
+#: thread-local so a threaded driver's sweeps don't cross-talk).
+_INLINE = threading.local()
+
+
+@dataclass(frozen=True)
+class _TelemetryTask:
+    """The picklable telemetry slice of a task tuple (probe config)."""
+
+    sample_interval_s: float = 1.0
+
+
+class _InlinePublisher:
+    """Publisher shim for inline attempts: emit straight to the sink."""
+
+    __slots__ = ("emit",)
+
+    def __init__(self, emit):
+        self.emit = emit
+
+    def take_residual(self):
+        return ()
+
+
+def _publisher_for():
+    """The attempt's event publisher: pool channel, inline sink, or None."""
+    if _WORKER_CHANNEL is not None:
+        return WorkerPublisher(_WORKER_CHANNEL)
+    sink = getattr(_INLINE, "sink", None)
+    if sink is not None:
+        return _InlinePublisher(sink)
+    return None
+
+
+def _attempt(task: Tuple[RunRequest, Optional[FaultAction], int, Optional[_TelemetryTask]]):
     """One supervised run attempt (also the pooled worker entry point).
 
     Returns a plain payload tuple instead of raising, catching at one
@@ -367,32 +416,60 @@ def _attempt(task: Tuple[RunRequest, Optional[FaultAction], int]):
     what makes recorded failure tracebacks byte-identical at any
     ``--jobs`` count:
 
-    * ``("ok", result, wall_s)`` on success;
+    * ``("ok", result, wall_s, residual)`` on success;
     * ``("error", class_name, message, traceback_text, pickle_blob,
-      wall_s)`` when the run raised. ``pickle_blob`` is the exception
-      itself when it round-trips through pickle (so the ``fail`` policy
-      can re-raise the original), else None.
+      wall_s, residual)`` when the run raised. ``pickle_blob`` is the
+      exception itself when it round-trips through pickle (so the
+      ``fail`` policy can re-raise the original), else None.
+
+    ``residual`` (always the last element) is the tail of the run's
+    telemetry stream that was still buffered at run end: carrying it in
+    the payload — which travels on the executor's result queue — means
+    it can never lose the race against the run being settled, which
+    events still in flight on the side channel can.
+
+    ``telem`` activates the run's telemetry probe: ``RunStarted`` is
+    published on the first attempt and a :class:`ProbeSession` is
+    installed for the spec's duration (terminal events are the
+    *parent's* to emit — only it knows when a run is finally settled).
     """
-    request, action, attempt = task
+    request, action, attempt, telem = task
+    publisher = _publisher_for() if telem is not None else None
+    previous = None
+    if publisher is not None:
+        if attempt == 1:
+            publisher.emit(
+                RunStarted(run_id=request.run_id, spec_id=request.spec_id)
+            )
+        previous = activate_probe(
+            ProbeSession(publisher.emit, request.run_id, telem.sample_interval_s)
+        )
     started = time.perf_counter()
     try:
-        if action is not None:
-            action.trigger(request.run_id, attempt)
-        spec = get_spec(request.spec_id)
-        result = spec.run(**request.kwargs_dict)
-    except Exception as exc:
-        wall_s = time.perf_counter() - started
-        text = "".join(
-            traceback_module.format_exception(type(exc), exc, exc.__traceback__)
-        )
-        blob = None
         try:
-            blob = pickle.dumps(exc)
-            pickle.loads(blob)
-        except Exception:
+            if action is not None:
+                action.trigger(request.run_id, attempt)
+            spec = get_spec(request.spec_id)
+            result = spec.run(**request.kwargs_dict)
+        except Exception as exc:
+            wall_s = time.perf_counter() - started
+            text = "".join(
+                traceback_module.format_exception(type(exc), exc, exc.__traceback__)
+            )
             blob = None
-        return ("error", type(exc).__name__, str(exc), text, blob, wall_s)
-    return ("ok", result, time.perf_counter() - started)
+            try:
+                blob = pickle.dumps(exc)
+                pickle.loads(blob)
+            except Exception:
+                blob = None
+            payload = ("error", type(exc).__name__, str(exc), text, blob, wall_s)
+        else:
+            payload = ("ok", result, time.perf_counter() - started)
+    finally:
+        if publisher is not None:
+            activate_probe(previous)
+    residual = publisher.take_residual() if publisher is not None else ()
+    return payload + (residual,)
 
 
 def _reraise_worker_error(error: str, message: str, tb: Optional[str], blob):
@@ -502,6 +579,10 @@ class SweepRunner:
         self.jobs = jobs
         self.mp_context = mp_context
         self._executor: Optional[ProcessPoolExecutor] = None
+        # Worker→parent telemetry channel; created with the first
+        # executor (initargs are fixed at pool construction) and shared
+        # by every lane, so late-attached telemetry still has transport.
+        self._channel = None
 
     def __enter__(self) -> "SweepRunner":
         return self
@@ -539,17 +620,45 @@ class SweepRunner:
         """
         executor = getattr(self, "_executor", None)
         self._executor = None
-        if executor is None:
-            return
-        try:
-            self._kill_workers(executor)
-            executor.shutdown(wait=False, cancel_futures=True)
-        except (AttributeError, TypeError):  # pragma: no cover - shutdown races
-            pass
+        if executor is not None:
+            try:
+                self._kill_workers(executor)
+                executor.shutdown(wait=False, cancel_futures=True)
+            except (AttributeError, TypeError):  # pragma: no cover - shutdown races
+                pass
+        channel = getattr(self, "_channel", None)
+        self._channel = None
+        if channel is not None:
+            try:
+                channel.cancel_join_thread()
+                channel.close()
+            except Exception:  # pragma: no cover - shutdown races
+                pass
+
+    def _ensure_channel(self):
+        """The shared telemetry channel (created with the first executor).
+
+        Bounded so a stalled parent can never make workers accumulate
+        unbounded queue memory; the publisher side drops oldest
+        droppable events instead of blocking when it fills.
+        """
+        if self._channel is None:
+            context = multiprocessing.get_context(self.mp_context)
+            self._channel = context.Queue(256)
+        return self._channel
 
     def _make_executor(self, workers: int) -> ProcessPoolExecutor:
         context = multiprocessing.get_context(self.mp_context)
-        return ProcessPoolExecutor(max_workers=workers, mp_context=context)
+        # The channel rides along unconditionally: initargs are fixed at
+        # pool construction, and the persistent executor must serve
+        # later run() calls that do attach telemetry. Workers only touch
+        # it when a task carries a telemetry slice.
+        return ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=context,
+            initializer=_worker_channel_init,
+            initargs=(self._ensure_channel(),),
+        )
 
     def _ensure_executor(self) -> ProcessPoolExecutor:
         """The persistent main-lane executor (workers spawn on demand)."""
@@ -568,7 +677,7 @@ class SweepRunner:
 
     # -- execution paths ----------------------------------------------
 
-    def _direct_outcomes(self, pending, actions, checkpoint):
+    def _direct_outcomes(self, pending, actions, checkpoint, telem=None, gate=None):
         """The legacy inline path: no supervision, errors propagate raw.
 
         Taken for ``fail``-with-no-retries at ``jobs=1`` so a raising
@@ -577,48 +686,97 @@ class SweepRunner:
         """
         for request, action in zip(pending, actions):
             started = time.perf_counter()
-            if action is not None:
-                action.trigger(request.run_id, 1)
-            spec = get_spec(request.spec_id)
-            result = spec.run(**request.kwargs_dict)
+            previous = None
+            if gate is not None:
+                gate.emit(RunStarted(run_id=request.run_id, spec_id=request.spec_id))
+                previous = activate_probe(
+                    ProbeSession(gate.emit, request.run_id, telem.sample_interval_s)
+                )
+            try:
+                if action is not None:
+                    action.trigger(request.run_id, 1)
+                spec = get_spec(request.spec_id)
+                result = spec.run(**request.kwargs_dict)
+            except BaseException as exc:
+                if gate is not None:
+                    gate.emit(
+                        RunFailed(
+                            run_id=request.run_id,
+                            error=type(exc).__name__,
+                            message=str(exc),
+                        )
+                    )
+                raise
+            finally:
+                if gate is not None:
+                    activate_probe(previous)
             record = RunRecord(request, result, time.perf_counter() - started)
             checkpoint(request, record)
+            if gate is not None:
+                gate.emit(RunFinished(run_id=request.run_id))
             yield record
 
-    def _serial_outcomes(self, pending, actions, policy, checkpoint):
+    def _serial_outcomes(self, pending, actions, policy, checkpoint, telem=None, gate=None):
         """Inline execution with failure isolation and retries."""
-        for index, request in enumerate(pending):
-            attempt = 1
-            while True:
-                payload = _attempt((request, actions[index], attempt))
-                if payload[0] == "ok":
-                    outcome = RunRecord(request, payload[1], payload[2])
+        if gate is not None:
+            _INLINE.sink = gate.emit
+        try:
+            for index, request in enumerate(pending):
+                attempt = 1
+                while True:
+                    payload = _attempt((request, actions[index], attempt, telem))
+                    if payload[0] == "ok":
+                        outcome = RunRecord(request, payload[1], payload[2])
+                        break
+                    _, error, message, tb, blob, wall_s = payload[:6]
+                    if attempt <= policy.retries:
+                        delay = policy.backoff_s(attempt)
+                        if delay > 0:
+                            time.sleep(delay)
+                        attempt += 1
+                        continue
+                    if policy.mode == "fail":
+                        if gate is not None:
+                            gate.emit(
+                                RunFailed(
+                                    run_id=request.run_id,
+                                    error=error,
+                                    message=message,
+                                )
+                            )
+                        _reraise_worker_error(error, message, tb, blob)
+                    outcome = RunFailure(
+                        run_id=request.run_id,
+                        spec_id=request.spec_id,
+                        kwargs=request.kwargs_dict,
+                        kind="exception",
+                        error=error,
+                        message=message,
+                        traceback=tb,
+                        attempts=attempt,
+                        wall_s=wall_s,
+                    )
                     break
-                _, error, message, tb, blob, wall_s = payload
-                if attempt <= policy.retries:
-                    delay = policy.backoff_s(attempt)
-                    if delay > 0:
-                        time.sleep(delay)
-                    attempt += 1
-                    continue
-                if policy.mode == "fail":
-                    _reraise_worker_error(error, message, tb, blob)
-                outcome = RunFailure(
-                    run_id=request.run_id,
-                    spec_id=request.spec_id,
-                    kwargs=request.kwargs_dict,
-                    kind="exception",
-                    error=error,
-                    message=message,
-                    traceback=tb,
-                    attempts=attempt,
-                    wall_s=wall_s,
-                )
-                break
-            checkpoint(request, outcome)
-            yield outcome
+                checkpoint(request, outcome)
+                if gate is not None:
+                    if isinstance(outcome, RunFailure):
+                        gate.emit(
+                            RunFailed(
+                                run_id=request.run_id,
+                                error=outcome.error,
+                                message=outcome.message,
+                            )
+                        )
+                    else:
+                        gate.emit(RunFinished(run_id=request.run_id))
+                yield outcome
+        finally:
+            if gate is not None:
+                _INLINE.sink = None
 
-    def _supervised_outcomes(self, pending, actions, policy, run_timeout, checkpoint):
+    def _supervised_outcomes(
+        self, pending, actions, policy, run_timeout, checkpoint, telem=None, gate=None
+    ):
         """Pooled execution under supervision; yields outcomes in order.
 
         Outcomes (``RunRecord`` or ``RunFailure``) are buffered as
@@ -636,14 +794,36 @@ class SweepRunner:
         lanes: Dict[str, _Lane] = {}
         completed = False
 
+        def drain_telemetry(grace: bool = False):
+            # Pull whatever the workers have published so far through
+            # the gate. Called opportunistically every poll and — with
+            # ``grace`` — decisively before a terminal event seals a
+            # run's stream: a batch the worker flushed just before
+            # returning can still sit in the channel's feeder thread
+            # when the result future completes, so wait a beat and
+            # drain once more before closing the door on it.
+            if gate is not None and self._channel is not None:
+                drain_channel(self._channel, gate.emit)
+                if grace:
+                    time.sleep(0.002)
+                    drain_channel(self._channel, gate.emit)
+
         def settle(index, payload):
             request = pending[index]
+            if gate is not None:
+                # Older events first (the side channel), then the tail
+                # the worker carried home inside the payload itself.
+                drain_telemetry(grace=True)
+                for event in payload[-1]:
+                    gate.emit(event)
             if payload[0] == "ok":
                 record = RunRecord(request, payload[1], payload[2])
                 checkpoint(request, record)
+                if gate is not None:
+                    gate.emit(RunFinished(run_id=request.run_id))
                 ready[index] = record
             else:
-                _, error, message, tb, blob, wall_s = payload
+                _, error, message, tb, blob, wall_s = payload[:6]
                 charge(index, "exception", error, message, tb, blob, wall_s)
 
         def charge(index, kind, error, message, tb, blob, wall_s):
@@ -658,6 +838,16 @@ class SweepRunner:
                 backlog.append((time.monotonic() + delay, index, lane_name))
                 return
             request = pending[index]
+            if gate is not None:
+                drain_telemetry(grace=True)
+                gate.emit(
+                    RunFailed(
+                        run_id=request.run_id,
+                        failure_kind=kind,
+                        error=error,
+                        message=message,
+                    )
+                )
             if policy.mode == "fail":
                 ready[index] = _Fatal(kind, error, message, tb, blob, request.run_id)
                 return
@@ -766,7 +956,7 @@ class SweepRunner:
                 state.timed_out = False
                 try:
                     future = lane.executor.submit(
-                        _attempt, (pending[index], state.action, state.attempt)
+                        _attempt, (pending[index], state.action, state.attempt, telem)
                     )
                 except BrokenExecutor:
                     # A worker died while idle; rebuild the lane once.
@@ -809,6 +999,7 @@ class SweepRunner:
                         "sweep supervisor stalled with no work in flight"
                     )
                 done, _ = wait(futures, timeout=_POLL_S, return_when=FIRST_COMPLETED)
+                drain_telemetry()
                 now = time.monotonic()
                 for lane in lanes.values():
                     # The executor dispatches FIFO, so the earliest
@@ -897,6 +1088,7 @@ class SweepRunner:
         policy: Optional[object] = None,
         run_timeout: Optional[float] = None,
         faults: Optional[FaultPlan] = None,
+        telemetry=None,
     ) -> List[RunRecord]:
         """Execute ``requests`` and return their records, in request order.
 
@@ -919,6 +1111,14 @@ class SweepRunner:
         at ``jobs=1``). ``faults`` injects a deterministic
         :class:`~repro.experiments.faults.FaultPlan` (default: the
         :data:`~repro.experiments.faults.FAULT_PLAN_ENV` env var).
+
+        ``telemetry`` (a :class:`~repro.telemetry.hub.TelemetryHub` with
+        at least one listener) streams live run events through a
+        :class:`~repro.telemetry.hub.RunEventGate`, so every run in the
+        batch — cached hits included — produces exactly
+        ``RunStarted (RunProgress|MetricSample)* (RunFinished|RunFailed)``.
+        Telemetry is strictly off the export path: records, stores and
+        exported bytes are identical with it on or off.
         """
         if isinstance(policy, str):
             policy = ErrorPolicy.parse(policy)
@@ -939,6 +1139,16 @@ class SweepRunner:
                 "duplicate run ids in batch: " + ", ".join(sorted(dupes))
             )
         fault_after = int(os.environ.get(FAULT_ENV, "0") or 0)
+        gate = None
+        telem = None
+        if telemetry is not None and telemetry.attached:
+            gate = RunEventGate(telemetry.emit)
+            telem = _TelemetryTask(sample_interval_s=telemetry.sample_interval_s)
+        if self._channel is not None:
+            # Discard stragglers a previous (aborted) batch left queued;
+            # their runs' gates are gone and their ids would pollute
+            # this batch's streams.
+            drain_channel(self._channel, lambda event: None)
         cached: Dict[str, RunRecord] = {}
         pending: List[RunRequest] = []
         actions: List[Optional[FaultAction]] = []
@@ -959,14 +1169,17 @@ class SweepRunner:
             outcomes = iter(())
         elif (self.jobs == 1 or len(pending) <= 1) and not needs_worker:
             if policy.mode == "fail" and policy.retries == 0:
-                outcomes = self._direct_outcomes(pending, actions, checkpoint)
+                outcomes = self._direct_outcomes(
+                    pending, actions, checkpoint, telem=telem, gate=gate
+                )
             else:
                 outcomes = self._serial_outcomes(
-                    pending, actions, policy, checkpoint
+                    pending, actions, policy, checkpoint, telem=telem, gate=gate
                 )
         else:
             outcomes = self._supervised_outcomes(
-                pending, actions, policy, run_timeout, checkpoint
+                pending, actions, policy, run_timeout, checkpoint,
+                telem=telem, gate=gate,
             )
         records: List[RunRecord] = []
         executed = 0
@@ -982,6 +1195,13 @@ class SweepRunner:
                     else:
                         record = outcome
                     executed += 1
+                elif gate is not None:
+                    # A cache hit never executes: its stream is the
+                    # immediate two-event form, emitted at release time.
+                    gate.emit(
+                        RunStarted(run_id=request.run_id, spec_id=request.spec_id)
+                    )
+                    gate.emit(RunFinished(run_id=request.run_id, cached=True))
                 if on_record is not None:
                     on_record(record)
                 records.append(record)

@@ -43,6 +43,7 @@ from repro.sim.rng import RngRegistry
 from repro.sim.slotted import DiffQCw, EZFlowCw, FixedCw, SlottedFlow, SlottedMesh
 from repro.sim.tiers import EngineTier
 from repro.sim.units import seconds
+from repro.telemetry.probe import current_probe
 from repro.topology.churn import ChurnDriver, ChurnEvent, ChurnSpecError
 from repro.topology.meshgen import bfs_tree, build_mesh_network, generate_topology, mean_degree
 from repro.traffic.workloads import WorkloadSpec, attach_workload
@@ -116,7 +117,31 @@ class EventTier(EngineTier):
 
         sampler = BufferSampler(network.engine, network.trace, network.nodes)
         sampler.start()
-        network.run(until_us=seconds(ir.duration_s))
+        session = current_probe()
+        if session is None:
+            network.run(until_us=seconds(ir.duration_s))
+        else:
+            # Probed: drive the same run in observer-sized chunks. The
+            # chunked engine walk dispatches a bit-identical event
+            # sequence, so attached results equal detached results.
+            network.start_sources()
+            duration_us = seconds(ir.duration_s)
+            interval_us = max(1, seconds(session.sample_interval_s))
+
+            def observe(now_us: int, processed: int) -> None:
+                now_s = now_us / 1_000_000.0
+                session.progress(now_s, processed, now_s / ir.duration_s)
+                session.metric(
+                    now_s,
+                    "goodput_kbps",
+                    {
+                        str(item.flow.flow_id): item.flow.throughput_bps(0, now_us)
+                        / 1000.0
+                        for item in attached
+                    },
+                )
+
+            network.engine.run_observed(duration_us, interval_us, observe)
         start, end = seconds(ir.warmup_s), seconds(ir.duration_s)
 
         result = ExperimentResult(
@@ -375,8 +400,30 @@ class SlottedTier(EngineTier):
         event_index = 0
         step = model.step
         churn_count = len(churn_events)
+        # Detached telemetry is one float compare per slot (inf never
+        # triggers); attached, samples fire on sim-time boundaries.
+        session = current_probe()
+        telem_next_s = 0.0 if session is not None else float("inf")
         for slot_index in range(total_slots):
             now = slot_index * slot_s
+            if now >= telem_next_s:
+                session.progress(now, slot_index, now / ir.duration_s)
+                if now > 0.0:
+                    snapshot = model.telemetry_snapshot()
+                    session.metric(
+                        now,
+                        "goodput_kbps",
+                        {
+                            flow_id: counts["delivered"]
+                            * workload.packet_bytes
+                            * 8
+                            / now
+                            / 1000.0
+                            for flow_id, counts in snapshot["flows"].items()
+                        },
+                    )
+                while telem_next_s <= now:
+                    telem_next_s += session.sample_interval_s
             if event_index < churn_count and churn_events[event_index].time_s <= now:
                 while (
                     event_index < len(churn_events)

@@ -39,6 +39,7 @@ import hashlib
 import json
 import os
 import sqlite3
+import warnings
 import zlib
 from typing import Dict, Iterator, List, Mapping, Optional, Tuple
 
@@ -692,9 +693,10 @@ def open_store(url: str) -> ResultStore:
     * ``sqlite:PATH`` — a columnar :class:`SqliteStore` file;
     * ``dir:PATH`` — a :class:`DirectoryStore` export tree.
 
-    A bare path (no scheme) keeps the legacy suffix dispatch as a shim:
-    a sqlite suffix (``.sqlite``/``.sqlite3``/``.db``) — or an existing
-    regular file — opens a :class:`SqliteStore`; anything else is a
+    A bare path (no scheme) keeps the legacy suffix dispatch as a shim
+    — now with a :class:`DeprecationWarning`: a sqlite suffix
+    (``.sqlite``/``.sqlite3``/``.db``) — or an existing regular file —
+    opens a :class:`SqliteStore`; anything else is a
     :class:`DirectoryStore`. The CLI's ``--store``, ``Study.run`` and
     the sweep service all resolve store names through this one factory.
     """
@@ -707,6 +709,13 @@ def open_store(url: str) -> ResultStore:
                 f"store url {url!r}: empty path after {scheme!r} scheme"
             )
         return SqliteStore(rest) if scheme == "sqlite" else DirectoryStore(rest)
+    warnings.warn(
+        f"bare store path {url!r}: suffix-based backend dispatch is "
+        f"deprecated; spell the url with an explicit scheme "
+        f"('sqlite:{url}' or 'dir:{url}')",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     lowered = url.lower()
     if lowered.endswith(SQLITE_SUFFIXES) or os.path.isfile(url):
         return SqliteStore(url)

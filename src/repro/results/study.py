@@ -166,6 +166,7 @@ class Study:
         on_error=None,
         run_timeout: Optional[float] = None,
         faults=None,
+        telemetry=None,
     ) -> ResultSet:
         """Execute the study and return its :class:`~repro.results.ResultSet`.
 
@@ -187,6 +188,10 @@ class Study:
         :meth:`~repro.experiments.runner.SweepRunner.run`. Under
         ``continue``, failed runs surface on the returned set's
         ``failures`` list instead of aborting the study.
+
+        ``telemetry`` (a :class:`~repro.telemetry.hub.TelemetryHub`)
+        streams live run events to its subscribers while the study
+        executes; exports and records are unaffected.
         """
         requests = self.requests()
         store, opened = _resolve_store(store)
@@ -200,6 +205,7 @@ class Study:
                         policy=on_error,
                         run_timeout=run_timeout,
                         faults=faults,
+                        telemetry=telemetry,
                     )
                 )
             else:
@@ -211,6 +217,7 @@ class Study:
                     on_error=on_error,
                     run_timeout=run_timeout,
                     faults=faults,
+                    telemetry=telemetry,
                 )
         finally:
             if opened:
@@ -247,13 +254,15 @@ def execute_requests(
     on_error=None,
     run_timeout: Optional[float] = None,
     faults=None,
+    telemetry=None,
 ) -> ResultSet:
     """Run pre-built requests and wrap the records (CLI plumbing helper).
 
     ``store`` (an instance or a store url string) enables checkpoint/
     resume/dedupe semantics; ``on_error``, ``run_timeout`` and
-    ``faults`` configure fault-tolerant execution — see
-    :meth:`~repro.experiments.runner.SweepRunner.run`.
+    ``faults`` configure fault-tolerant execution, and ``telemetry``
+    (a :class:`~repro.telemetry.hub.TelemetryHub`) streams live run
+    events — see :meth:`~repro.experiments.runner.SweepRunner.run`.
     """
     if jobs < 0:
         raise ValueError("jobs must be >= 0 (0 = all available cores)")
@@ -267,6 +276,7 @@ def execute_requests(
                 policy=on_error,
                 run_timeout=run_timeout,
                 faults=faults,
+                telemetry=telemetry,
             )
     finally:
         if opened:

@@ -69,6 +69,8 @@ INDEX = {
         "DELETE /jobs/<id>": "cancel a queued job",
         "GET /jobs/<id>/results": "flat parameters+scalars table, one row per run",
         "GET /jobs/<id>/runs/<run_id>": "one run's full result document",
+        "GET /jobs/<id>/events": "live telemetry stream (Server-Sent Events; "
+        "Last-Event-ID resumes)",
         "GET /jobs/<id>/compare": "cross-run delta table (query: baseline, metrics, align)",
         "GET /jobs/<id>/compare.md": "the same table as markdown, byte-identical to the CLI",
     },
@@ -77,6 +79,11 @@ INDEX = {
 
 class ServiceApp:
     """WSGI callable over one :class:`~repro.service.jobs.SweepService`."""
+
+    #: Seconds between SSE keepalive comments while a job is idle. Short
+    #: enough that a vanished client is detected (the keepalive write
+    #: raises) well before a long run completes; tests shrink it.
+    sse_keepalive_s = 15.0
 
     def __init__(self, service: SweepService):
         self.service = service
@@ -90,6 +97,17 @@ class ServiceApp:
             status, body, content_type = self._route(method, path, environ)
         except BAD_REQUEST_ERRORS as error:
             status, body, content_type = 400, {"error": str(error)}, None
+        if content_type == "text/event-stream":
+            # Streaming response: no Content-Length (the connection
+            # close delimits the stream) and no caching anywhere.
+            start_response(
+                _STATUS_TEXT[status],
+                [
+                    ("Content-Type", "text/event-stream; charset=utf-8"),
+                    ("Cache-Control", "no-store"),
+                ],
+            )
+            return body
         if content_type is None:
             content_type = "application/json"
             payload = (
@@ -184,6 +202,11 @@ class ServiceApp:
         denied = self._expect(method, "GET")
         if denied:
             return denied
+        if tail == ["events"]:
+            # The live event stream is served in every job state —
+            # queued jobs stream once they start, finished jobs replay
+            # their recorded log and close.
+            return 200, self._event_stream(job, environ), "text/event-stream"
         if job.state != DONE or job.results is None:
             return (
                 409,
@@ -211,6 +234,50 @@ class ServiceApp:
             doc["incomplete"] = incomplete
             return 200, doc, None
         return 404, {"error": f"no such job resource: {'/'.join(tail)}"}, None
+
+    def _event_stream(self, job, environ: Mapping):
+        """The SSE body generator for one job's telemetry stream.
+
+        Frames follow the EventSource wire format — ``id:`` is the
+        job-monotonic event id, ``event:`` the telemetry kind, ``data:``
+        the serialised event. A client reconnecting with
+        ``Last-Event-ID`` (header, or ``last_event_id`` query parameter
+        for curl-style consumers) receives exactly the events it has not
+        seen. The stream closes cleanly once the job is terminal and its
+        log is fully replayed; while waiting it emits comment keepalives
+        so a dead connection surfaces as a write error here rather than
+        a thread parked forever.
+        """
+        from urllib.parse import parse_qs
+
+        last_id = 0
+        raw = environ.get("HTTP_LAST_EVENT_ID")
+        if raw is None:
+            query = parse_qs(environ.get("QUERY_STRING", ""))
+            raw = (query.get("last_event_id") or [None])[0]
+        if raw is not None:
+            try:
+                last_id = max(0, int(raw))
+            except ValueError:
+                last_id = 0
+
+        def stream():
+            nonlocal last_id
+            while True:
+                events, terminal = self.service.wait_events(
+                    job, last_id, timeout=self.sse_keepalive_s
+                )
+                for event_id, kind, data in events:
+                    last_id = event_id
+                    yield (
+                        f"id: {event_id}\nevent: {kind}\ndata: {data}\n\n"
+                    ).encode("utf-8")
+                if terminal and not events:
+                    return
+                if not events:
+                    yield b": keepalive\n\n"
+
+        return stream()
 
     @staticmethod
     def _compare(results, environ: Mapping):

@@ -26,8 +26,10 @@ WSGI layer over this object.
 
 from __future__ import annotations
 
+import json
 import threading
-from typing import Dict, List, Mapping, Optional
+import time
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.experiments.faults import FaultPlan
 from repro.experiments.runner import (
@@ -39,6 +41,8 @@ from repro.experiments.runner import (
 )
 from repro.results import ResultSet, Study
 from repro.results.store import open_store
+from repro.telemetry.events import event_to_json_dict
+from repro.telemetry.hub import TelemetryHub
 
 #: Schema tags of the service's JSON documents.
 JOB_SCHEMA = "repro.service/job/1"
@@ -158,6 +162,22 @@ class Job:
         }
         self.cached = 0
         self.executed = 0
+        #: Telemetry event log: (event id, kind, serialised JSON). Event
+        #: ids are monotonic per job and are the SSE ``id:`` values, so
+        #: ``Last-Event-ID`` resume replays exactly the unseen suffix.
+        self.events: List[Tuple[int, str, str]] = []
+        self._event_seq = 0
+
+    def add_event(self, event) -> None:
+        """Append a telemetry event (caller holds the service lock)."""
+        self._event_seq += 1
+        self.events.append(
+            (
+                self._event_seq,
+                event.kind,
+                json.dumps(event_to_json_dict(event), sort_keys=True),
+            )
+        )
 
     # -- scheduler-side transitions (caller holds the service lock) ----
 
@@ -265,8 +285,12 @@ class SweepService:
         self.default_on_error = default_on_error
         self.default_run_timeout = default_run_timeout
         self._runner = SweepRunner(jobs=jobs, mp_context=mp_context)
+        self._started = time.monotonic()
         self._lock = threading.Lock()
         self._work = threading.Condition(self._lock)
+        # Signalled whenever any job gains telemetry events or reaches a
+        # terminal state; SSE streams block on it between frames.
+        self._events = threading.Condition(self._lock)
         self._jobs: Dict[str, Job] = {}
         self._order: List[str] = []
         self._queue: List[str] = []
@@ -304,6 +328,7 @@ class SweepService:
         with self._lock:
             self._stopping = True
             self._work.notify_all()
+            self._events.notify_all()
             thread = self._thread
         if thread is not None:
             thread.join(timeout)
@@ -377,17 +402,22 @@ class SweepService:
                 return False
             job.cancel()
             self._queue.remove(job_id)
+            self._events.notify_all()
             return True
 
     def status_json_dict(self) -> Dict[str, object]:
         """The service status document (the ``/status`` endpoint)."""
         with self._lock:
-            by_state: Dict[str, int] = {}
+            # Zero-filled so every lifecycle state is always present —
+            # dashboards and scripts can index without existence checks.
+            by_state: Dict[str, int] = {
+                state: 0 for state in (QUEUED, RUNNING, DONE, FAILED, CANCELLED)
+            }
             failures = 0
             executed = 0
             cached = 0
             for job in self._jobs.values():
-                by_state[job.state] = by_state.get(job.state, 0) + 1
+                by_state[job.state] += 1
                 failures += len(job.failures)
                 executed += job.executed
                 cached += job.cached
@@ -396,14 +426,35 @@ class SweepService:
                 "store": self.store_url,
                 "workers": self.jobs,
                 "accepting": not self._stopping,
+                "uptime_s": round(time.monotonic() - self._started, 3),
                 "queue_depth": len(self._queue),
                 "running": self._current,
-                "jobs": dict(sorted(by_state.items())),
+                "jobs": by_state,
                 "jobs_total": len(self._jobs),
                 "failure_count": failures,
                 "runs_executed": executed,
                 "runs_cached": cached,
             }
+
+    def wait_events(
+        self, job: Job, after_id: int, timeout: Optional[float] = None
+    ) -> Tuple[List[Tuple[int, str, str]], bool]:
+        """Events of ``job`` with id > ``after_id``, blocking when empty.
+
+        Returns ``(events, terminal)`` where ``terminal`` means the job
+        has reached a final state (done/failed/cancelled) — with no new
+        events, that is the SSE stream's clean-close signal. Blocks at
+        most ``timeout`` seconds (one wait) when nothing is pending yet.
+        """
+        with self._lock:
+            events = [entry for entry in job.events if entry[0] > after_id]
+            terminal = job.state in (DONE, FAILED, CANCELLED)
+            if events or terminal:
+                return events, terminal
+            self._events.wait(timeout=timeout)
+            events = [entry for entry in job.events if entry[0] > after_id]
+            terminal = job.state in (DONE, FAILED, CANCELLED)
+            return events, terminal
 
     # -- the scheduler thread ------------------------------------------
 
@@ -415,6 +466,7 @@ class SweepService:
                     job = self._jobs[self._queue.pop(0)]
                     if self._stopping:
                         job.cancel()
+                        self._events.notify_all()
                         continue
                     job.state = RUNNING
                     self._current = job.id
@@ -428,6 +480,17 @@ class SweepService:
             with self._lock:
                 job.record(record)
 
+        # Per-job hub: the runner streams run events through it and the
+        # listener folds them into the job's event log, waking any SSE
+        # streams blocked on the events condition.
+        hub = TelemetryHub()
+
+        def on_event(event) -> None:
+            with self._lock:
+                job.add_event(event)
+                self._events.notify_all()
+
+        hub.subscribe(on_event)
         try:
             records = self._runner.run(
                 job.requests,
@@ -436,19 +499,24 @@ class SweepService:
                 policy=job.policy,
                 run_timeout=job.run_timeout,
                 faults=job.faults,
+                telemetry=hub,
             )
         except InjectedSweepFault as error:
             with self._lock:
                 job.fail(str(error), exit_code=3)
+                self._events.notify_all()
         except (RunTimeoutError, WorkerCrashError) as error:
             with self._lock:
                 job.fail(str(error), exit_code=1)
+                self._events.notify_all()
         except Exception as error:  # a run raised under the fail policy
             with self._lock:
                 job.fail(f"{type(error).__name__}: {error}", exit_code=1)
+                self._events.notify_all()
         else:
             with self._lock:
                 job.finish(ResultSet.from_records(records))
+                self._events.notify_all()
 
     def _scheduler(self) -> None:
         """The scheduler loop: one shared store, one job at a time.

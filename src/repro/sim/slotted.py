@@ -396,6 +396,25 @@ class SlottedMesh:
         """Start time of the next slot."""
         return self.slot * self.slot_s
 
+    def telemetry_snapshot(self) -> Dict[str, object]:
+        """Read-only counters for mid-run telemetry sampling.
+
+        Pure observation — touches no model state, so sampling cannot
+        perturb the run.
+        """
+        return {
+            "slot": self.slot,
+            "backlog": sum(len(queue) for queue in self.queues.values()),
+            "flows": {
+                str(flow.flow_id): {
+                    "generated": flow.generated,
+                    "delivered": flow.delivered,
+                    "lost": flow.lost,
+                }
+                for flow in self.flows
+            },
+        }
+
     def set_routes(self, parents: Dict[NodeId, Dict[NodeId, NodeId]]) -> None:
         """Install per-destination next-hop trees (re-invoke after churn).
 

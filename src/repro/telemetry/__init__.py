@@ -1,0 +1,68 @@
+"""Live telemetry plane: in-run trace/metric streaming.
+
+The plane is strictly additive and strictly off the export path:
+
+* **Emission** — probe points in the engine tiers check
+  :func:`current_probe` once per run and emit typed events
+  (:mod:`repro.telemetry.events`) at a sim-time sampling interval.
+  Detached (no listener) they cost one thread-local read; event streams
+  are wall-clock free and therefore deterministic.
+* **Transport** — pool workers publish through a bounded, batched,
+  drop-oldest :class:`WorkerPublisher` onto a ``multiprocessing.Queue``
+  the sweep runner drains alongside supervision
+  (:mod:`repro.telemetry.channel`).
+* **Grammar** — a :class:`RunEventGate` in the runner guarantees every
+  consumer sees, per run, exactly
+  ``RunStarted (RunProgress|MetricSample)* (RunFinished|RunFailed)``.
+* **Consumption** — a :class:`TelemetryHub` fans events out to plain
+  callables: the JSONL :class:`TelemetryRecorder`, the ``--live``
+  console :class:`LiveTable`, and the service's per-job SSE bridge.
+"""
+
+from repro.telemetry.channel import WorkerPublisher, drain_channel
+from repro.telemetry.events import (
+    DROPPABLE_KINDS,
+    EVENT_SCHEMA,
+    EVENT_TYPES,
+    MetricSample,
+    RunFailed,
+    RunFinished,
+    RunProgress,
+    RunStarted,
+    TERMINAL_KINDS,
+    event_from_json_dict,
+    event_to_json_dict,
+)
+from repro.telemetry.hub import RunEventGate, TelemetryHub
+from repro.telemetry.live import LiveTable
+from repro.telemetry.probe import (
+    ProbeSession,
+    activate_probe,
+    current_probe,
+    probe_scope,
+)
+from repro.telemetry.recorder import TelemetryRecorder
+
+__all__ = [
+    "DROPPABLE_KINDS",
+    "EVENT_SCHEMA",
+    "EVENT_TYPES",
+    "LiveTable",
+    "MetricSample",
+    "ProbeSession",
+    "RunEventGate",
+    "RunFailed",
+    "RunFinished",
+    "RunProgress",
+    "RunStarted",
+    "TERMINAL_KINDS",
+    "TelemetryHub",
+    "TelemetryRecorder",
+    "WorkerPublisher",
+    "activate_probe",
+    "current_probe",
+    "drain_channel",
+    "event_from_json_dict",
+    "event_to_json_dict",
+    "probe_scope",
+]

@@ -1,0 +1,103 @@
+"""The worker→parent transport: batched, bounded, never blocking.
+
+Pool workers publish events through a :class:`WorkerPublisher` wrapped
+around a shared ``multiprocessing.Queue``. Two properties are
+non-negotiable and shape the whole design:
+
+* **A slow consumer must never stall a run.** The publisher only ever
+  uses ``put_nowait``; when the queue is full the batch stays in a
+  worker-local buffer and, past ``max_buffer`` events, the *oldest
+  droppable* events (progress / metric samples) are discarded first.
+  Lifecycle events are never dropped — they are retried on every
+  subsequent flush and the buffer bound only evicts around them.
+* **Batching keeps the queue cheap.** Droppable events coalesce into
+  batches of ``batch_size``; lifecycle events flush immediately so the
+  parent sees starts promptly.
+
+The parent drains with :func:`drain_channel` — non-blocking, called
+opportunistically from the supervision loop and decisively right before
+a run is settled (so in-flight samples land before the terminal event
+seals the run's stream at the gate).
+"""
+
+from __future__ import annotations
+
+import queue
+from typing import Callable, List
+
+from repro.telemetry.events import DROPPABLE_KINDS
+
+
+class WorkerPublisher:
+    """Publish events from a worker without ever blocking on the parent."""
+
+    def __init__(self, channel, batch_size: int = 8, max_buffer: int = 512):
+        self._channel = channel
+        self._batch_size = max(1, int(batch_size))
+        self._max_buffer = max(self._batch_size, int(max_buffer))
+        self._buffer: List[object] = []
+        self.dropped = 0
+
+    def emit(self, event) -> None:
+        self._buffer.append(event)
+        if event.kind not in DROPPABLE_KINDS or len(self._buffer) >= self._batch_size:
+            self.flush()
+
+    def flush(self) -> None:
+        """Try to hand the buffered batch to the parent; never blocks."""
+        if not self._buffer:
+            return
+        try:
+            self._channel.put_nowait(list(self._buffer))
+        except queue.Full:
+            self._trim()
+        else:
+            self._buffer.clear()
+
+    def take_residual(self):
+        """Hand back (and clear) the still-buffered tail of the stream.
+
+        A run's final events would otherwise race the run's own result:
+        the mp queue's feeder thread and the executor's result queue
+        are independent, so a batch flushed at run end can arrive
+        *after* the parent settles the run — and the gate would drop
+        it. The runner instead carries this residual inside the result
+        payload, where ordering is guaranteed by construction.
+        """
+        residual = tuple(self._buffer)
+        self._buffer.clear()
+        return residual
+
+    def _trim(self) -> None:
+        # Queue full: keep buffering, but bound the buffer by evicting
+        # the oldest droppable events. Lifecycle events survive.
+        index = 0
+        while len(self._buffer) > self._max_buffer:
+            while index < len(self._buffer):
+                if self._buffer[index].kind in DROPPABLE_KINDS:
+                    del self._buffer[index]
+                    self.dropped += 1
+                    break
+                index += 1
+            else:
+                break
+
+
+def drain_channel(channel, emit: Callable[[object], None], max_batches: int = 1000) -> int:
+    """Drain pending batches into ``emit`` without blocking; returns count.
+
+    ``max_batches`` bounds one drain call so a firehose of events cannot
+    starve the supervision loop. Closed/broken channels drain as empty.
+    """
+    delivered = 0
+    for _ in range(max_batches):
+        try:
+            batch = channel.get_nowait()
+        except queue.Empty:
+            break
+        except (OSError, ValueError):
+            break
+        for event in batch:
+            emit(event)
+            delivered += 1
+    return delivered

@@ -1,0 +1,126 @@
+"""Typed telemetry events: the vocabulary of the live-telemetry plane.
+
+Five event kinds describe a run's life, matching the lifecycle the sweep
+runner already guarantees (every run resolves exactly once):
+
+* :class:`RunStarted` — a run began executing (attempt 1);
+* :class:`RunProgress` — periodic progress: simulated time reached,
+  engine events (or slots) dispatched, completed fraction;
+* :class:`MetricSample` — a named metric sampled mid-run (the tiers
+  emit per-flow running goodput under ``goodput_kbps``);
+* :class:`RunFinished` — the run completed (``cached`` marks a store
+  hit that never executed);
+* :class:`RunFailed` — the run failed terminally (its ``failure_kind``
+  mirrors :class:`~repro.experiments.runner.RunFailure`:
+  ``exception``/``timeout``/``worker-crash``).
+
+Events are deliberately *wall-clock free*: every field is a pure
+function of the run (sim time, counters, identities), so a recorded
+event stream is as deterministic as the run that produced it and CI can
+assert on recorded streams exactly. They are plain frozen dataclasses —
+picklable (they cross the worker→parent channel) and JSON-serialisable
+via :func:`event_to_json_dict` / :func:`event_from_json_dict` (the
+recorder's JSONL sidecar form and the service's SSE ``data:`` payload).
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import ClassVar, Dict, Mapping
+
+#: Schema tag carried by every serialised event envelope.
+EVENT_SCHEMA = "repro.telemetry/event/1"
+
+
+@dataclass(frozen=True)
+class RunStarted:
+    """A run began executing (emitted once, on its first attempt)."""
+
+    kind: ClassVar[str] = "RunStarted"
+    run_id: str
+    spec_id: str = ""
+    attempt: int = 1
+
+
+@dataclass(frozen=True)
+class RunProgress:
+    """Periodic progress: sim time reached, work units done, fraction.
+
+    ``events`` counts the executing tier's unit of work — engine events
+    dispatched on the event core, slots stepped on the slotted tier.
+    ``frac`` is completed simulated time over the scenario duration,
+    clamped to [0, 1].
+    """
+
+    kind: ClassVar[str] = "RunProgress"
+    run_id: str
+    time_s: float
+    events: int
+    frac: float
+
+
+@dataclass(frozen=True)
+class MetricSample:
+    """One named metric sampled mid-run, as a mapping of series values.
+
+    The tiers emit ``metric="goodput_kbps"`` with one entry per flow
+    (running goodput since the start of the run).
+    """
+
+    kind: ClassVar[str] = "MetricSample"
+    run_id: str
+    time_s: float
+    metric: str
+    values: Mapping[str, float] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class RunFinished:
+    """The run completed successfully (``cached``: a store hit)."""
+
+    kind: ClassVar[str] = "RunFinished"
+    run_id: str
+    cached: bool = False
+
+
+@dataclass(frozen=True)
+class RunFailed:
+    """The run failed terminally (after any retries were exhausted)."""
+
+    kind: ClassVar[str] = "RunFailed"
+    run_id: str
+    failure_kind: str = "exception"  # exception | timeout | worker-crash
+    error: str = ""
+    message: str = ""
+
+
+#: kind -> event class, for deserialisation.
+EVENT_TYPES: Dict[str, type] = {
+    cls.kind: cls
+    for cls in (RunStarted, RunProgress, MetricSample, RunFinished, RunFailed)
+}
+
+#: Kinds that end a run's event stream (exactly one per run).
+TERMINAL_KINDS = frozenset({RunFinished.kind, RunFailed.kind})
+
+#: Kinds the transport may drop under backpressure. Lifecycle events
+#: (started/terminal) are never droppable — consumers rely on seeing
+#: them exactly once; progress and metric samples are best-effort.
+DROPPABLE_KINDS = frozenset({RunProgress.kind, MetricSample.kind})
+
+
+def event_to_json_dict(event) -> Dict[str, object]:
+    """The serialised envelope: ``kind`` plus the event's own fields."""
+    doc: Dict[str, object] = {"kind": event.kind}
+    doc.update(asdict(event))
+    return doc
+
+
+def event_from_json_dict(doc: Mapping[str, object]):
+    """Rebuild an event from its :func:`event_to_json_dict` envelope."""
+    fields = dict(doc)
+    kind = fields.pop("kind", None)
+    cls = EVENT_TYPES.get(kind)
+    if cls is None:
+        raise ValueError(f"unknown telemetry event kind: {kind!r}")
+    return cls(**fields)

@@ -1,0 +1,113 @@
+"""The subscription hub: fan events out to registered listeners.
+
+:class:`TelemetryHub` is the consumer-side rendezvous — recorders, live
+tables and the service's SSE bridge subscribe plain callables; whoever
+executes runs emits events into it. A hub with no listeners is inert
+(``attached`` is False), and the probe points upstream check exactly
+that before doing any work, which is what keeps detached runs free.
+
+:class:`RunEventGate` sits between an event source and a hub and
+enforces the per-run stream grammar every consumer may rely on::
+
+    RunStarted (RunProgress | MetricSample)* (RunFinished | RunFailed)
+
+exactly once per run: a missing ``RunStarted`` is synthesised before
+the first observed event of a run (a crashed worker may never have
+flushed its own), duplicate ``RunStarted``/terminal events collapse,
+and *anything* arriving after a run's terminal event is discarded (a
+slow worker→parent channel can deliver stragglers after the supervisor
+already settled the run).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, List, Set
+
+from repro.telemetry.events import RunStarted, TERMINAL_KINDS
+
+Listener = Callable[[object], None]
+
+
+class TelemetryHub:
+    """Thread-safe listener registry with a sampling-interval knob.
+
+    ``sample_interval_s`` configures the probe points: how often (in
+    *simulated* seconds) an executing run emits progress and metric
+    samples. Sim-time sampling keeps the event stream deterministic —
+    the same run always emits the same events.
+
+    ``emit`` never lets a listener failure disturb execution: listener
+    exceptions are swallowed (telemetry is strictly best-effort and off
+    the export path).
+    """
+
+    def __init__(self, sample_interval_s: float = 1.0):
+        if sample_interval_s <= 0:
+            raise ValueError("sample_interval_s must be positive")
+        self.sample_interval_s = float(sample_interval_s)
+        self._lock = threading.Lock()
+        self._listeners: List[Listener] = []
+
+    @property
+    def attached(self) -> bool:
+        """True when at least one listener is subscribed."""
+        return bool(self._listeners)
+
+    def subscribe(self, listener: Listener) -> Listener:
+        """Register a callable; returns it (handy for later unsubscribe)."""
+        with self._lock:
+            self._listeners.append(listener)
+        return listener
+
+    def unsubscribe(self, listener: Listener) -> None:
+        """Remove a listener; unknown listeners are ignored."""
+        with self._lock:
+            try:
+                self._listeners.remove(listener)
+            except ValueError:
+                pass
+
+    def emit(self, event) -> None:
+        """Deliver ``event`` to every listener, isolating their errors."""
+        with self._lock:
+            listeners = list(self._listeners)
+        for listener in listeners:
+            try:
+                listener(event)
+            except Exception:
+                # Telemetry must never break the run it observes.
+                pass
+
+
+class RunEventGate:
+    """Enforce the per-run event grammar in front of a sink.
+
+    Not thread-safe by itself — the sweep runner drives one gate from
+    one thread (its release/supervision loop).
+    """
+
+    def __init__(self, sink: Listener):
+        self._sink = sink
+        self._started: Set[str] = set()
+        self._terminal: Set[str] = set()
+
+    def emit(self, event) -> bool:
+        """Forward ``event`` if the grammar allows it; True when sent."""
+        run_id = event.run_id
+        if run_id in self._terminal:
+            return False
+        kind = event.kind
+        if kind == RunStarted.kind:
+            if run_id in self._started:
+                return False
+            self._started.add(run_id)
+            self._sink(event)
+            return True
+        if run_id not in self._started:
+            self._started.add(run_id)
+            self._sink(RunStarted(run_id=run_id))
+        if kind in TERMINAL_KINDS:
+            self._terminal.add(run_id)
+        self._sink(event)
+        return True

@@ -1,0 +1,119 @@
+"""The ``--live`` console view: an in-place per-run progress table.
+
+:class:`LiveTable` is a hub listener that re-renders a small table on a
+TTY using ANSI cursor movement — one row per run showing its state, the
+completed fraction and the latest aggregate goodput sample. Rendering
+is wall-clock throttled (default 10 Hz) except for lifecycle events,
+which always repaint so starts and finishes are never missed.
+
+This module is display-only; it never feeds back into execution, and a
+non-TTY stream simply accumulates the final table once at ``finish()``.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Dict, Optional
+
+from repro.telemetry.events import (
+    MetricSample,
+    RunFailed,
+    RunFinished,
+    RunProgress,
+    RunStarted,
+    TERMINAL_KINDS,
+)
+
+_STATE_GLYPHS = {
+    "running": "…",
+    "done": "ok",
+    "cached": "ok*",
+    "failed": "FAIL",
+}
+
+
+class _Row:
+    __slots__ = ("state", "frac", "goodput_kbps")
+
+    def __init__(self):
+        self.state = "running"
+        self.frac = 0.0
+        self.goodput_kbps: Optional[float] = None
+
+
+class LiveTable:
+    """Render run progress in place on ``stream`` (stderr by default)."""
+
+    def __init__(self, total: int, stream=None, refresh_s: float = 0.1):
+        self.total = int(total)
+        self.stream = stream if stream is not None else sys.stderr
+        self.refresh_s = float(refresh_s)
+        self._rows: Dict[str, _Row] = {}
+        self._order = []
+        self._rendered_lines = 0
+        self._last_render = 0.0
+        self._finished = 0
+
+    def __call__(self, event) -> None:
+        row = self._rows.get(event.run_id)
+        if row is None:
+            row = _Row()
+            self._rows[event.run_id] = row
+            self._order.append(event.run_id)
+        kind = event.kind
+        if kind == RunProgress.kind:
+            row.frac = event.frac
+        elif kind == MetricSample.kind:
+            if event.metric == "goodput_kbps" and event.values:
+                row.goodput_kbps = sum(event.values.values())
+        elif kind == RunFinished.kind:
+            row.state = "cached" if event.cached else "done"
+            row.frac = 1.0
+            self._finished += 1
+        elif kind == RunFailed.kind:
+            row.state = "failed"
+            self._finished += 1
+        elif kind != RunStarted.kind:
+            return
+        force = kind in TERMINAL_KINDS or kind == RunStarted.kind
+        self._render(force=force)
+
+    def finish(self) -> None:
+        """Final repaint (always), leaving the table on screen."""
+        self._render(force=True)
+
+    def _render(self, force: bool = False) -> None:
+        now = time.monotonic()
+        if not force and (now - self._last_render) < self.refresh_s:
+            return
+        if not force and not self._is_tty():
+            return
+        self._last_render = now
+        lines = [f"runs {self._finished}/{self.total}"]
+        for run_id in self._order:
+            row = self._rows[run_id]
+            glyph = _STATE_GLYPHS.get(row.state, "?")
+            bar = _bar(row.frac)
+            goodput = (
+                f" {row.goodput_kbps:8.1f} kbps" if row.goodput_kbps is not None else ""
+            )
+            lines.append(f"  {run_id:<32.32} {bar} {row.frac:4.0%} {glyph:<4}{goodput}")
+        out = self.stream
+        if self._is_tty() and self._rendered_lines:
+            out.write(f"\x1b[{self._rendered_lines}A")
+        for line in lines:
+            if self._is_tty():
+                out.write("\x1b[2K")
+            out.write(line + "\n")
+        out.flush()
+        self._rendered_lines = len(lines)
+
+    def _is_tty(self) -> bool:
+        isatty = getattr(self.stream, "isatty", None)
+        return bool(isatty and isatty())
+
+
+def _bar(frac: float, width: int = 16) -> str:
+    filled = int(min(1.0, max(0.0, frac)) * width)
+    return "[" + "#" * filled + "-" * (width - filled) + "]"

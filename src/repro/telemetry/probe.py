@@ -1,0 +1,89 @@
+"""The probe session: how executing code finds out it is being watched.
+
+Engine tiers (and any future instrumented code) call
+:func:`current_probe` once per run. ``None`` — the overwhelmingly
+common case — means no listener is attached and the tier takes its
+unmodified fast path: detached telemetry costs one thread-local read
+per *run*, nothing per event or per slot, and the dispatched event
+sequence is untouched (so exports stay byte-identical).
+
+When a session is active, the tier emits through it at the session's
+sampling interval (simulated seconds). The session is just a run id,
+an interval and an ``emit`` callable — inside a pool worker that
+callable is a :class:`~repro.telemetry.channel.WorkerPublisher`, inline
+it is the sweep's gate directly; the tier cannot tell the difference.
+
+The active session is *thread-local* (not process-global) so a threaded
+driver (the sweep service's scheduler next to its HTTP threads, or
+parallel test batteries) can probe one run without leaking the session
+into unrelated work.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Callable, Mapping, Optional
+
+from repro.telemetry.events import MetricSample, RunProgress
+
+_LOCAL = threading.local()
+
+
+class ProbeSession:
+    """One watched run: identity, sampling interval, and the event sink."""
+
+    __slots__ = ("emit", "run_id", "sample_interval_s")
+
+    def __init__(
+        self,
+        emit: Callable[[object], None],
+        run_id: str,
+        sample_interval_s: float = 1.0,
+    ):
+        if sample_interval_s <= 0:
+            raise ValueError("sample_interval_s must be positive")
+        self.emit = emit
+        self.run_id = run_id
+        self.sample_interval_s = float(sample_interval_s)
+
+    def progress(self, time_s: float, events: int, frac: float) -> None:
+        """Emit a :class:`RunProgress` (``frac`` clamped to [0, 1])."""
+        self.emit(
+            RunProgress(
+                run_id=self.run_id,
+                time_s=time_s,
+                events=int(events),
+                frac=min(1.0, max(0.0, frac)),
+            )
+        )
+
+    def metric(self, time_s: float, metric: str, values: Mapping[str, float]) -> None:
+        """Emit a :class:`MetricSample` with a copy of ``values``."""
+        self.emit(
+            MetricSample(
+                run_id=self.run_id, time_s=time_s, metric=metric, values=dict(values)
+            )
+        )
+
+
+def current_probe() -> Optional[ProbeSession]:
+    """The calling thread's active session, or None (detached)."""
+    return getattr(_LOCAL, "session", None)
+
+
+def activate_probe(session: Optional[ProbeSession]) -> Optional[ProbeSession]:
+    """Install ``session`` for this thread; returns the previous one."""
+    previous = getattr(_LOCAL, "session", None)
+    _LOCAL.session = session
+    return previous
+
+
+@contextmanager
+def probe_scope(session: Optional[ProbeSession]):
+    """Context manager spelling of activate/restore."""
+    previous = activate_probe(session)
+    try:
+        yield session
+    finally:
+        activate_probe(previous)

@@ -1,0 +1,62 @@
+"""The JSONL sidecar recorder: one file per run, one event per line.
+
+A :class:`TelemetryRecorder` subscribes to a hub (it is a plain
+callable) and appends every event for run ``R`` to ``<root>/R.jsonl``
+as a sorted-keys JSON envelope (see
+:func:`repro.telemetry.events.event_to_json_dict`). Lines are flushed
+as written so a tail -f (or a crashed sweep's post-mortem) always sees
+a prefix of the true stream, and a run's file handle is closed as soon
+as its terminal event lands.
+
+The sidecar lives *next to* the export tree, never inside it: telemetry
+must not perturb export bytes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, IO
+
+from repro.telemetry.events import TERMINAL_KINDS, event_to_json_dict
+
+
+def _safe_name(run_id: str) -> str:
+    return run_id.replace(os.sep, "_").replace("/", "_")
+
+
+class TelemetryRecorder:
+    """Append telemetry events to per-run JSONL files under ``root``."""
+
+    def __init__(self, root: str):
+        self.root = root
+        os.makedirs(root, exist_ok=True)
+        self._handles: Dict[str, IO[str]] = {}
+
+    def __call__(self, event) -> None:
+        run_id = event.run_id
+        handle = self._handles.get(run_id)
+        if handle is None:
+            path = os.path.join(self.root, f"{_safe_name(run_id)}.jsonl")
+            handle = open(path, "a", encoding="utf-8")
+            self._handles[run_id] = handle
+        handle.write(json.dumps(event_to_json_dict(event), sort_keys=True) + "\n")
+        handle.flush()
+        if event.kind in TERMINAL_KINDS:
+            handle.close()
+            del self._handles[run_id]
+
+    def close(self) -> None:
+        """Close any handles still open (runs that never terminated)."""
+        for handle in self._handles.values():
+            try:
+                handle.close()
+            except OSError:
+                pass
+        self._handles.clear()
+
+    def __enter__(self) -> "TelemetryRecorder":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

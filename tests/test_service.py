@@ -175,6 +175,16 @@ class TestAppRouting:
         assert status == 200
         assert doc["schema"] == STATUS_SCHEMA
         assert doc["queue_depth"] == 0 and doc["accepting"] is True
+        # Uptime plus zero-filled per-state job counts (every state
+        # always present, so dashboards need no key-existence checks).
+        assert doc["uptime_s"] >= 0.0
+        assert doc["jobs"] == {
+            "queued": 0,
+            "running": 0,
+            "done": 0,
+            "failed": 0,
+            "cancelled": 0,
+        }
 
     def test_unknown_routes_and_methods(self, app):
         assert wsgi_call(app, "GET", "/nope")[0] == 404
@@ -221,7 +231,14 @@ class TestAppRouting:
         # A second cancel (no longer queued) conflicts.
         assert wsgi_call(app, "DELETE", f"/jobs/{job_id}")[0] == 409
         status, doc = wsgi_call(app, "GET", "/status")
-        assert doc["queue_depth"] == 0 and doc["jobs"] == {"cancelled": 1}
+        assert doc["queue_depth"] == 0
+        assert doc["jobs"] == {
+            "queued": 0,
+            "running": 0,
+            "done": 0,
+            "failed": 0,
+            "cancelled": 1,
+        }
 
     def test_oversized_submission(self, app):
         environ = {
@@ -325,6 +342,175 @@ class TestServiceExecution:
         status, status_doc = wsgi_call(live, "GET", "/status")
         assert status_doc["jobs"]["failed"] == 1
         assert status_doc["failure_count"] == 1
+
+
+def open_stream(app, job_id, last_event_id=None, via_query=False):
+    """GET /jobs/<id>/events; returns (captured, body iterator)."""
+    environ = {
+        "REQUEST_METHOD": "GET",
+        "PATH_INFO": f"/jobs/{job_id}/events",
+        "QUERY_STRING": "",
+        "CONTENT_LENGTH": "0",
+        "wsgi.input": io.BytesIO(b""),
+    }
+    if last_event_id is not None:
+        if via_query:
+            environ["QUERY_STRING"] = f"last_event_id={last_event_id}"
+        else:
+            environ["HTTP_LAST_EVENT_ID"] = str(last_event_id)
+    captured = {}
+
+    def start_response(status, headers):
+        captured["status"] = int(status.split()[0])
+        captured["headers"] = dict(headers)
+
+    return captured, app(environ, start_response)
+
+
+def parse_frames(raw: bytes):
+    """SSE bytes -> [(id, event kind, data dict)]; keepalives skipped."""
+    frames = []
+    for block in raw.decode().split("\n\n"):
+        if not block.strip() or block.startswith(":"):
+            continue
+        fields = {}
+        for line in block.split("\n"):
+            key, _, value = line.partition(": ")
+            fields[key] = value
+        frames.append((int(fields["id"]), fields["event"], json.loads(fields["data"])))
+    return frames
+
+
+def read_stream(app, job_id, **kwargs):
+    captured, body = open_stream(app, job_id, **kwargs)
+    assert captured["status"] == 200
+    assert captured["headers"]["Content-Type"].startswith("text/event-stream")
+    assert "Content-Length" not in captured["headers"]  # close-delimited
+    return parse_frames(b"".join(body))
+
+
+def assert_stream_grammar(frames, cached=False):
+    """Per-run SSE grammar: Started (Progress|Sample)* terminal, once."""
+    by_run = {}
+    for _, kind, data in frames:
+        by_run.setdefault(data["run_id"], []).append((kind, data))
+    assert by_run
+    for run_id, stream in by_run.items():
+        kinds = [kind for kind, _ in stream]
+        assert kinds[0] == "RunStarted", run_id
+        assert kinds[-1] in ("RunFinished", "RunFailed"), run_id
+        assert kinds.count("RunStarted") == 1
+        assert kinds.count("RunFinished") + kinds.count("RunFailed") == 1
+        if cached:
+            assert stream[-1][1]["cached"] is True
+    return by_run
+
+
+class TestEventStream:
+    """The SSE endpoint: framing, per-run grammar, resume, disconnect."""
+
+    @pytest.fixture(scope="class")
+    def live(self, tmp_path_factory):
+        store = tmp_path_factory.mktemp("events") / "runs.sqlite"
+        service = SweepService(f"sqlite:{store}", jobs=2).start()
+        app = ServiceApp(service)
+        # Short keepalives so idle waits surface quickly in tests.
+        app.sse_keepalive_s = 0.05
+        yield app
+        service.shutdown()
+
+    def _submit(self, live, **extra):
+        status, doc = wsgi_call(live, "POST", "/studies", stability_doc(**extra))
+        assert status == 202
+        return doc["id"]
+
+    def test_live_stream_full_grammar_and_monotonic_ids(self, live):
+        job_id = self._submit(live)
+        # Attach while the job runs: the stream follows execution and
+        # closes on its own once the job is terminal.
+        frames = read_stream(live, job_id)
+        ids = [frame_id for frame_id, _, _ in frames]
+        assert ids == sorted(ids) and len(set(ids)) == len(ids)
+        by_run = assert_stream_grammar(frames)
+        assert len(by_run) == 2
+        assert poll_done(live, job_id)["state"] == "done"
+
+    def test_cached_job_streams_immediate_finish(self, live):
+        first = self._submit(live, slots=1600)
+        poll_done(live, first)
+        job_id = self._submit(live, slots=1600)  # all cache hits
+        doc = poll_done(live, job_id)
+        assert doc["cached"] == 2
+        frames = read_stream(live, job_id)
+        by_run = assert_stream_grammar(frames, cached=True)
+        assert all(len(stream) == 2 for stream in by_run.values())
+
+    @pytest.mark.parametrize("via_query", [False, True])
+    def test_last_event_id_resumes_without_replay(self, live, via_query):
+        job_id = self._submit(live, slots=1700)
+        poll_done(live, job_id)
+        frames = read_stream(live, job_id)
+        assert len(frames) >= 4
+        cut = frames[1][0]  # resume after the second event
+        resumed = read_stream(
+            live, job_id, last_event_id=cut, via_query=via_query
+        )
+        assert resumed == frames[2:]  # nothing seen replays
+        # Resuming from the last id yields nothing and closes cleanly.
+        assert read_stream(live, job_id, last_event_id=frames[-1][0]) == []
+
+    def test_bad_last_event_id_replays_from_start(self, live):
+        job_id = self._submit(live, slots=1700)  # cached by now
+        poll_done(live, job_id)
+        frames = read_stream(live, job_id)
+        assert read_stream(live, job_id, last_event_id="bogus") == frames
+
+    def test_client_disconnect_mid_run_leaves_job_unharmed(self, live):
+        job_id = self._submit(live, slots=1800)
+        captured, body = open_stream(live, job_id)
+        # Read one chunk, then vanish (closing the generator is what
+        # the WSGI server does when the client connection drops).
+        first = next(iter(body))
+        assert first  # a frame or a keepalive comment
+        body.close()
+        doc = poll_done(live, job_id)
+        assert doc["state"] == "done"
+        # The full log is still replayable after the disconnect.
+        assert_stream_grammar(read_stream(live, job_id))
+
+    def test_keepalives_flow_while_idle(self, live):
+        # A queued/running job with nothing new to say emits comment
+        # keepalives so dead connections surface as write errors.
+        job_id = self._submit(live, slots=1900)
+        captured, body = open_stream(live, job_id)
+        chunks = []
+        for chunk in body:
+            chunks.append(chunk)
+            if chunk.startswith(b":"):
+                break
+            if len(chunks) > 200:  # the job finished too fast to idle
+                break
+        body.close()
+        assert any(chunk.startswith(b":") for chunk in chunks) or len(chunks) > 200
+        poll_done(live, job_id)
+
+    def test_events_endpoint_rejects_non_get(self, live):
+        job_id = self._submit(live, slots=2000)
+        poll_done(live, job_id)
+        environ = {
+            "REQUEST_METHOD": "POST",
+            "PATH_INFO": f"/jobs/{job_id}/events",
+            "CONTENT_LENGTH": "0",
+            "wsgi.input": io.BytesIO(b""),
+        }
+        captured = {}
+
+        def start_response(status, headers):
+            captured["status"] = int(status.split()[0])
+
+        body = live(environ, start_response)
+        b"".join(body)
+        assert captured["status"] == 405
 
 
 class TestCompareByteIdentity:

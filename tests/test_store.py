@@ -10,6 +10,7 @@ aggregation over a store, torn-checkpoint recovery, and the CLI
 import json
 import os
 import sqlite3
+import warnings
 
 import pytest
 
@@ -236,31 +237,44 @@ class TestSqliteBackend:
         store.close()
 
     def test_open_store_picks_backend(self, tmp_path):
-        assert isinstance(open_store(str(tmp_path / "a.sqlite")), SqliteStore)
-        assert isinstance(open_store(str(tmp_path / "a.db")), SqliteStore)
-        assert isinstance(open_store(str(tmp_path / "tree")), DirectoryStore)
+        # The bare-path suffix shim still dispatches — but now under a
+        # DeprecationWarning steering callers to explicit schemes.
+        with pytest.warns(DeprecationWarning, match="explicit scheme"):
+            assert isinstance(open_store(str(tmp_path / "a.sqlite")), SqliteStore)
+        with pytest.warns(DeprecationWarning, match="suffix-based"):
+            assert isinstance(open_store(str(tmp_path / "a.db")), SqliteStore)
+        with pytest.warns(DeprecationWarning):
+            assert isinstance(open_store(str(tmp_path / "tree")), DirectoryStore)
         # An existing regular file is sqlite regardless of suffix.
         path = str(tmp_path / "noext")
         SqliteStore(path).close()
-        assert isinstance(open_store(path), SqliteStore)
+        with pytest.warns(DeprecationWarning):
+            assert isinstance(open_store(path), SqliteStore)
 
-    def test_open_store_explicit_schemes(self, tmp_path):
+    def test_open_store_explicit_schemes(self, tmp_path, monkeypatch):
+        # The unknown-prefix case below resolves "file:..." as a
+        # relative path; run from tmp_path so the litter lands there.
+        monkeypatch.chdir(tmp_path)
         # Schemes override suffix dispatch entirely: sqlite: forces the
         # sqlite backend on any path, dir: forces a tree even on a
-        # .sqlite-looking path.
-        store = open_store(f"sqlite:{tmp_path / 'anything.weird'}")
-        assert isinstance(store, SqliteStore)
-        store.close()
-        store = open_store(f"dir:{tmp_path / 'tree.sqlite'}")
-        assert isinstance(store, DirectoryStore)
-        store.close()
-        with pytest.raises(ValueError, match="empty path"):
-            open_store("sqlite:")
-        with pytest.raises(ValueError, match="empty path"):
-            open_store("dir:")
+        # .sqlite-looking path — and neither spelling warns.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            store = open_store(f"sqlite:{tmp_path / 'anything.weird'}")
+            assert isinstance(store, SqliteStore)
+            store.close()
+            store = open_store(f"dir:{tmp_path / 'tree.sqlite'}")
+            assert isinstance(store, DirectoryStore)
+            store.close()
+            with pytest.raises(ValueError, match="empty path"):
+                open_store("sqlite:")
+            with pytest.raises(ValueError, match="empty path"):
+                open_store("dir:")
         # Unknown prefixes are not schemes — they fall through to the
-        # bare-path shim (Windows drive letters stay directory paths).
-        assert isinstance(open_store(f"file:{tmp_path / 'x'}"), DirectoryStore)
+        # (deprecated) bare-path shim, so Windows drive letters stay
+        # directory paths.
+        with pytest.warns(DeprecationWarning):
+            assert isinstance(open_store(f"file:{tmp_path / 'x'}"), DirectoryStore)
 
     def test_study_run_accepts_store_urls(self, tmp_path):
         url = f"sqlite:{tmp_path / 'runs.sqlite'}"
